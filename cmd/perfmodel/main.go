@@ -1,0 +1,62 @@
+// Command perfmodel evaluates the paper's Section 4 analytic performance
+// model for arbitrary cluster configurations:
+//
+//	perfmodel -nodes 512 -platform phi -alg soi
+//	perfmodel -nodes 64 -platform xeon -alg ct -pernode 134217728
+//	perfmodel -nodes 32 -platform phi -alg soi -offload
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"soifft/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	nodes := flag.Int("nodes", 32, "cluster size")
+	perNode := flag.Float64("pernode", perfmodel.PerNodeElems, "complex elements per node")
+	platform := flag.String("platform", "phi", "xeon | phi")
+	alg := flag.String("alg", "soi", "soi | ct")
+	segments := flag.Int("segments", 0, "segments per process (0 = paper policy)")
+	overlap := flag.Bool("overlap", true, "overlap communication with computation")
+	offload := flag.Bool("offload", false, "Section 7 offload mode (SOI on Phi)")
+	flag.Parse()
+
+	var p perfmodel.Platform
+	switch strings.ToLower(*platform) {
+	case "xeon":
+		p = perfmodel.Xeon
+	case "phi", "xeonphi", "mic":
+		p = perfmodel.XeonPhi
+	default:
+		log.Fatalf("unknown platform %q", *platform)
+	}
+	var a perfmodel.Algorithm
+	switch strings.ToLower(*alg) {
+	case "soi":
+		a = perfmodel.SOI
+	case "ct", "cooley-tukey", "mkl":
+		a = perfmodel.CooleyTukey
+	default:
+		log.Fatalf("unknown algorithm %q", *alg)
+	}
+
+	cfg := perfmodel.Default()
+	opt := perfmodel.Options{
+		Nodes: *nodes, PerNode: *perNode,
+		Segments: *segments, Overlap: *overlap, Offload: *offload,
+	}
+	e := cfg.Estimate(a, p, opt)
+	n := *perNode * float64(*nodes)
+	fmt.Printf("%s on %d %s nodes, %.0f elements/node:\n", a, *nodes, p, *perNode)
+	fmt.Printf("  local FFT    : %8.3f s\n", e.LocalFFT)
+	fmt.Printf("  convolution  : %8.3f s\n", e.Conv)
+	fmt.Printf("  MPI (raw)    : %8.3f s\n", e.MPI)
+	fmt.Printf("  MPI (exposed): %8.3f s\n", e.ExposedMPI)
+	fmt.Printf("  etc.         : %8.3f s\n", e.Etc)
+	fmt.Printf("  total        : %8.3f s  =>  %.2f TFLOPS\n", e.Total, e.TFLOPS(n))
+}

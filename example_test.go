@@ -1,0 +1,65 @@
+package soifft_test
+
+import (
+	"fmt"
+	"math"
+
+	"soifft"
+)
+
+// ExampleNewPlan transforms a pure tone and reads its spectral line.
+func ExampleNewPlan() {
+	// Valid lengths are multiples of Segments^2 * OversampleDen (448 for
+	// the default configuration).
+	_, n := soifft.ValidLength(2000, soifft.DefaultConfig())
+
+	plan, err := soifft.NewPlan(n, soifft.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	// A unit tone at bin 100: its DFT is a single line of height n.
+	x := make([]complex128, n)
+	for j := range x {
+		s, c := math.Sincos(2 * math.Pi * 100 * float64(j) / float64(n))
+		x[j] = complex(c, s)
+	}
+	y := make([]complex128, n)
+	if err := plan.Forward(y, x); err != nil {
+		panic(err)
+	}
+	fmt.Printf("n = %d\n", n)
+	fmt.Printf("|Y[100]|/n = %.6f\n", math.Hypot(real(y[100]), imag(y[100]))/float64(n))
+	// Output:
+	// n = 2240
+	// |Y[100]|/n = 1.000000
+}
+
+// ExampleNewCluster runs the distributed transform across in-process ranks.
+func ExampleNewCluster() {
+	_, n := soifft.ValidLength(3000, soifft.DefaultConfig())
+	cl, err := soifft.NewCluster(4, soifft.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	x := make([]complex128, n)
+	x[1] = 1 // impulse at position 1: flat unit-magnitude spectrum
+	y := make([]complex128, n)
+	if _, err := cl.Forward(y, x); err != nil {
+		panic(err)
+	}
+	fmt.Printf("|Y[0]| = %.4f, |Y[%d]| = %.4f\n",
+		math.Hypot(real(y[0]), imag(y[0])), n/2, math.Hypot(real(y[n/2]), imag(y[n/2])))
+	// Output:
+	// |Y[0]| = 1.0000, |Y[1568]| = 1.0000
+}
+
+// ExampleFFT uses the exact mixed-radix kernel directly.
+func ExampleFFT() {
+	y, err := soifft.FFT([]complex128{1, 1, 1, 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(real(y[0]), real(y[1]))
+	// Output:
+	// 4 0
+}

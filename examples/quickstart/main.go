@@ -1,0 +1,72 @@
+// Quickstart: plan an SOI FFT, transform a vector, check it against the
+// exact FFT, and round-trip through the inverse.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"soifft"
+)
+
+func main() {
+	// Pick a valid SOI length near 10k for the default configuration
+	// (segments=8, mu=8/7: lengths must be multiples of 8*8*7 = 448).
+	_, n := soifft.ValidLength(10000, soifft.DefaultConfig())
+	fmt.Printf("transform length n = %d\n", n)
+
+	plan, err := soifft.NewPlan(n, soifft.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("designed accuracy bound: %.2e\n", plan.EstimatedError())
+
+	// A noisy two-tone signal.
+	rng := rand.New(rand.NewSource(1))
+	x := make([]complex128, n)
+	for j := range x {
+		a1 := 2 * math.Pi * 440 * float64(j) / float64(n)
+		a2 := 2 * math.Pi * 1234 * float64(j) / float64(n)
+		x[j] = complex(3*math.Cos(a1)+math.Cos(a2)+0.1*rng.NormFloat64(), 0)
+	}
+
+	// Forward SOI transform (in-order, unnormalized).
+	y := make([]complex128, n)
+	if err := plan.Forward(y, x); err != nil {
+		log.Fatal(err)
+	}
+
+	// Compare against the library's exact mixed-radix FFT.
+	exact, err := soifft.FFT(x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var num, den float64
+	for i := range y {
+		d := y[i] - exact[i]
+		num += real(d)*real(d) + imag(d)*imag(d)
+		den += real(exact[i])*real(exact[i]) + imag(exact[i])*imag(exact[i])
+	}
+	fmt.Printf("relative error vs exact FFT: %.2e\n", math.Sqrt(num/den))
+
+	// The two tones dominate the spectrum.
+	fmt.Printf("|Y[440]| = %.0f, |Y[1234]| = %.0f (n/2 scale: %d)\n",
+		cabs(y[440]), cabs(y[1234]), n/2)
+
+	// Inverse round trip.
+	z := make([]complex128, n)
+	if err := plan.Inverse(z, y); err != nil {
+		log.Fatal(err)
+	}
+	worst := 0.0
+	for i := range z {
+		if d := cabs(z[i] - x[i]); d > worst {
+			worst = d
+		}
+	}
+	fmt.Printf("inverse round-trip max error: %.2e\n", worst)
+}
+
+func cabs(z complex128) float64 { return math.Hypot(real(z), imag(z)) }

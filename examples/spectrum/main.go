@@ -1,0 +1,110 @@
+// Spectrum: the workload class the paper's introduction motivates — an
+// in-order 1D spectral analysis of a long signal, distributed across ranks.
+//
+// A long record hides a handful of weak tones in noise. The distributed
+// SOI FFT computes the in-order spectrum with each rank owning a contiguous
+// segment — which is exactly what makes detection embarrassingly local
+// afterwards: every rank scans only its own block for peaks. A conventional
+// distributed FFT would either leave the spectrum bit-reversed/strided
+// across ranks or pay three all-to-alls to reorder it; SOI pays one.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sort"
+
+	"soifft"
+)
+
+const (
+	ranks    = 8
+	perRank  = 7 * 64 * 64 // per-rank elements; N = 8x this = 229376
+	toneSNR  = 0.05        // tone amplitude relative to noise
+	numTones = 5
+)
+
+func main() {
+	n := ranks * perRank
+	cfg := soifft.DefaultConfig()
+	cfg.Segments = ranks
+
+	// Hide a few weak tones at "unknown" bins in heavy noise.
+	rng := rand.New(rand.NewSource(7))
+	truth := make([]int, numTones)
+	for i := range truth {
+		truth[i] = rng.Intn(n)
+	}
+	sort.Ints(truth)
+	x := make([]complex128, n)
+	for j := range x {
+		x[j] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	for _, f := range truth {
+		for j := range x {
+			a := 2 * math.Pi * float64((j*f)%n) / float64(n)
+			s, c := math.Sincos(a)
+			x[j] += complex(toneSNR*c, toneSNR*s)
+		}
+	}
+
+	cl, err := soifft.NewCluster(ranks, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	y := make([]complex128, n)
+	stats, err := cl.Forward(y, x)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("distributed SOI across %d ranks (N = %d)\n", ranks, n)
+	for ph, s := range stats.PhaseSeconds {
+		fmt.Printf("  %-12s %8.1f ms (summed over ranks)\n", ph, 1000*s)
+	}
+
+	// Per-rank local peak scan: each rank examines only its own in-order
+	// block of the spectrum.
+	type peak struct {
+		bin int
+		mag float64
+	}
+	var peaks []peak
+	for r := 0; r < ranks; r++ {
+		lo, hi := r*perRank, (r+1)*perRank
+		// Noise floor estimate for this block.
+		var sum float64
+		for _, v := range y[lo:hi] {
+			sum += math.Hypot(real(v), imag(v))
+		}
+		floor := sum / float64(perRank)
+		for k := lo; k < hi; k++ {
+			if m := math.Hypot(real(y[k]), imag(y[k])); m > 8*floor {
+				peaks = append(peaks, peak{bin: k, mag: m})
+			}
+		}
+	}
+	sort.Slice(peaks, func(i, j int) bool { return peaks[i].bin < peaks[j].bin })
+
+	fmt.Printf("planted tones : %v\n", truth)
+	found := make([]int, 0, len(peaks))
+	for _, p := range peaks {
+		found = append(found, p.bin)
+	}
+	fmt.Printf("detected peaks: %v\n", found)
+
+	hits := 0
+	for _, f := range truth {
+		for _, p := range found {
+			if p == f {
+				hits++
+				break
+			}
+		}
+	}
+	fmt.Printf("recovered %d/%d tones at SNR %.0f%%\n", hits, numTones, 100*toneSNR)
+	if hits != numTones {
+		log.Fatal("detection failed")
+	}
+}

@@ -1,0 +1,3 @@
+module soifft
+
+go 1.22

@@ -1,0 +1,50 @@
+package conv
+
+import (
+	"fmt"
+	"testing"
+
+	"soifft/internal/ref"
+	"soifft/internal/window"
+)
+
+func BenchmarkVariants(b *testing.B) {
+	const chunks = 64
+	for _, segs := range []int{8, 64} {
+		p := window.Params{N: segs * segs * 7 * chunks, Segments: segs, NMu: 8, DMu: 7, B: 72}
+		f, err := window.Design(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := ref.RandomVector(InputLen(f, 0, chunks), 1)
+		u := make([]complex128, OutputLen(f, 0, chunks))
+		for _, v := range AllVariants {
+			b.Run(fmt.Sprintf("%s/segments=%d", v, segs), func(b *testing.B) {
+				b.SetBytes(int64(len(u)) * 16)
+				for i := 0; i < b.N; i++ {
+					Apply(v, f, u, x, 0, chunks, 1)
+				}
+				flops := 8 * float64(f.B) * float64(len(u))
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			})
+		}
+	}
+}
+
+func BenchmarkParallelScaling(b *testing.B) {
+	const chunks, segs = 64, 32
+	p := window.Params{N: segs * segs * 7 * chunks, Segments: segs, NMu: 8, DMu: 7, B: 72}
+	f, err := window.Design(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ref.RandomVector(InputLen(f, 0, chunks), 1)
+	u := make([]complex128, OutputLen(f, 0, chunks))
+	for _, workers := range []int{1, 2, 4, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Apply(Buffered, f, u, x, 0, chunks, workers)
+			}
+		})
+	}
+}

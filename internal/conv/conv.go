@@ -1,0 +1,253 @@
+// Package conv implements the convolution-and-oversampling step W*x of the
+// SOI factorization (Section 5.3 of the paper), in the three variants whose
+// ablation is Fig. 11:
+//
+//	Baseline     the straightforward row-wise form of Fig. 6a: for each
+//	             chunk, all nmu*S rows are produced by length-B inner
+//	             products; threads take chunks of rows. Its working set is
+//	             the full nmu*S*B distinct matrix elements per chunk, which
+//	             grows with the segment count.
+//	Interchange  the decomposed form of Fig. 6b / Fig. 7: the matrix-vector
+//	             product splits into S independent sub-problems (one per
+//	             polyphase lane) because every S-by-S block of W is
+//	             diagonal; loop_a over lanes becomes the outer, thread-
+//	             parallel loop and the per-lane working set is a constant
+//	             nmu*B elements regardless of scale.
+//	Buffered     Interchange plus staging of the lane's stride-S input
+//	             window through a contiguous circular buffer, converting B
+//	             long-stride loads per inner product into B contiguous
+//	             loads plus dmu strided loads per chunk ("Avoiding Cache
+//	             Conflict Misses by Buffering").
+//
+// All variants produce bit-identical results up to floating-point
+// reassociation; tests pin them against each other and against a direct
+// dense evaluation of W.
+package conv
+
+import (
+	"fmt"
+
+	"soifft/internal/par"
+	"soifft/internal/window"
+)
+
+// Variant selects the convolution implementation strategy.
+type Variant int
+
+const (
+	Baseline Variant = iota
+	Interchange
+	Buffered
+)
+
+// String returns the label used in benchmark output, matching Fig. 11.
+func (v Variant) String() string {
+	switch v {
+	case Baseline:
+		return "baseline"
+	case Interchange:
+		return "interchange"
+	case Buffered:
+		return "buffering"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// AllVariants lists the ablation order of Fig. 11.
+var AllVariants = []Variant{Baseline, Interchange, Buffered}
+
+// InputLen returns the input span chunks [c0, c1) read: the last chunk
+// starts at (c1-1)*DMu*S and reads B*S elements.
+func InputLen(f *window.Filter, c0, c1 int) int {
+	if c1 <= c0 {
+		return 0
+	}
+	return (c1-1-c0)*f.DMu*f.Segments + f.B*f.Segments
+}
+
+// OutputLen returns the number of outputs chunks [c0, c1) produce.
+func OutputLen(f *window.Filter, c0, c1 int) int {
+	return (c1 - c0) * f.NMu * f.Segments
+}
+
+// Apply computes the convolution outputs for chunks [c0, c1) of the global
+// problem. x[0] must correspond to global input index c0*DMu*Segments and
+// len(x) >= InputLen(f, c0, c1); u receives OutputLen(f, c0, c1) values,
+// u[(c-c0)*NMu*S + a*S + j] being global output (c*NMu + a)*S + j.
+// workers <= 0 selects GOMAXPROCS.
+func Apply(v Variant, f *window.Filter, u, x []complex128, c0, c1, workers int) {
+	if c1 <= c0 {
+		return
+	}
+	if len(x) < InputLen(f, c0, c1) {
+		panic(fmt.Sprintf("conv: input too short: len(x)=%d need %d", len(x), InputLen(f, c0, c1)))
+	}
+	if len(u) < OutputLen(f, c0, c1) {
+		panic(fmt.Sprintf("conv: output too short: len(u)=%d need %d", len(u), OutputLen(f, c0, c1)))
+	}
+	switch v {
+	case Baseline:
+		applyBaseline(f, u, x, c0, c1, workers)
+	case Interchange:
+		applyInterchange(f, u, x, c0, c1, workers)
+	case Buffered:
+		applyBuffered(f, u, x, c0, c1, workers)
+	default:
+		panic(fmt.Sprintf("conv: unknown variant %d", int(v)))
+	}
+}
+
+// applyBaseline walks output rows in order (Fig. 6a). Parallelization
+// distributes chunks to workers; within a chunk, every row touches all
+// nmu*S*B distinct taps.
+func applyBaseline(f *window.Filter, u, x []complex128, c0, c1, workers int) {
+	s := f.Segments
+	nmu, dmu, b := f.NMu, f.DMu, f.B
+	nchunks := c1 - c0
+	par.For(workers, nchunks, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			in := x[c*dmu*s:]
+			out := u[c*nmu*s:]
+			for a := 0; a < nmu; a++ {
+				taps := f.Taps[a]
+				for j := 0; j < s; j++ {
+					var accRe, accIm float64
+					for bb := 0; bb < b; bb++ {
+						t := taps[bb*s+j]
+						v := in[bb*s+j]
+						tr, ti := real(t), imag(t)
+						vr, vi := real(v), imag(v)
+						accRe += tr*vr - ti*vi
+						accIm += tr*vi + ti*vr
+					}
+					out[a*s+j] = complex(accRe, accIm)
+				}
+			}
+		}
+	})
+}
+
+// applyInterchange makes the lane loop outermost (Fig. 7: loop_a over the S
+// sub-matrices, thread-parallel, no data shared between iterations).
+func applyInterchange(f *window.Filter, u, x []complex128, c0, c1, workers int) {
+	s := f.Segments
+	nmu, dmu, b := f.NMu, f.DMu, f.B
+	nchunks := c1 - c0
+	par.For(workers, s, func(jlo, jhi int) {
+		// Per-lane compact taps: laneTaps[a][bb] = Taps[a][bb*s+j]. This is
+		// the constant nmu*B working set of the decomposed form.
+		laneTaps := make([][]complex128, nmu)
+		for a := range laneTaps {
+			laneTaps[a] = make([]complex128, b)
+		}
+		for j := jlo; j < jhi; j++ {
+			for a := 0; a < nmu; a++ {
+				src := f.Taps[a]
+				dst := laneTaps[a]
+				for bb := 0; bb < b; bb++ {
+					dst[bb] = src[bb*s+j]
+				}
+			}
+			for c := 0; c < nchunks; c++ {
+				base := c * dmu * s
+				for a := 0; a < nmu; a++ {
+					taps := laneTaps[a]
+					var accRe, accIm float64
+					for bb := 0; bb < b; bb++ {
+						t := taps[bb]
+						v := x[base+bb*s+j]
+						tr, ti := real(t), imag(t)
+						vr, vi := real(v), imag(v)
+						accRe += tr*vr - ti*vi
+						accIm += tr*vi + ti*vr
+					}
+					u[(c*nmu+a)*s+j] = complex(accRe, accIm)
+				}
+			}
+		}
+	})
+}
+
+// applyBuffered adds the circular input staging: lane j's window of B
+// stride-S inputs lives in a contiguous ring; each chunk advances the ring
+// by dmu elements copied from the strided input.
+func applyBuffered(f *window.Filter, u, x []complex128, c0, c1, workers int) {
+	s := f.Segments
+	nmu, dmu, b := f.NMu, f.DMu, f.B
+	nchunks := c1 - c0
+	par.For(workers, s, func(jlo, jhi int) {
+		laneTaps := make([][]complex128, nmu)
+		for a := range laneTaps {
+			laneTaps[a] = make([]complex128, b)
+		}
+		ring := make([]complex128, b)
+		for j := jlo; j < jhi; j++ {
+			for a := 0; a < nmu; a++ {
+				src := f.Taps[a]
+				dst := laneTaps[a]
+				for bb := 0; bb < b; bb++ {
+					dst[bb] = src[bb*s+j]
+				}
+			}
+			// Fill the ring with the first chunk's window.
+			for bb := 0; bb < b; bb++ {
+				ring[bb] = x[bb*s+j]
+			}
+			head := 0 // ring[head] is logical window element 0
+			for c := 0; ; c++ {
+				for a := 0; a < nmu; a++ {
+					taps := laneTaps[a]
+					var accRe, accIm float64
+					// Two contiguous runs: [head, b) then [0, head).
+					bb := 0
+					for i := head; i < b; i, bb = i+1, bb+1 {
+						t := taps[bb]
+						v := ring[i]
+						accRe += real(t)*real(v) - imag(t)*imag(v)
+						accIm += real(t)*imag(v) + imag(t)*real(v)
+					}
+					for i := 0; i < head; i, bb = i+1, bb+1 {
+						t := taps[bb]
+						v := ring[i]
+						accRe += real(t)*real(v) - imag(t)*imag(v)
+						accIm += real(t)*imag(v) + imag(t)*real(v)
+					}
+					u[(c*nmu+a)*s+j] = complex(accRe, accIm)
+				}
+				if c == nchunks-1 {
+					break
+				}
+				// Advance the window by dmu: overwrite the dmu oldest
+				// entries with the next strided inputs.
+				nextBase := (c+1)*dmu*s + (b-dmu)*s // first new element
+				for d := 0; d < dmu; d++ {
+					ring[head] = x[nextBase+d*s+j]
+					head++
+					if head == b {
+						head = 0
+					}
+				}
+			}
+		}
+	})
+}
+
+// ApplyDense multiplies the dense W matrix for chunks [c0, c1) against x —
+// the O(everything) reference the fast variants are verified against in
+// tests. Only usable for small problems.
+func ApplyDense(f *window.Filter, u, x []complex128, c0, c1 int) {
+	s := f.Segments
+	nmu, dmu, b := f.NMu, f.DMu, f.B
+	for c := 0; c < c1-c0; c++ {
+		for a := 0; a < nmu; a++ {
+			for j := 0; j < s; j++ {
+				var acc complex128
+				for bb := 0; bb < b; bb++ {
+					acc += f.Taps[a][bb*s+j] * x[(c*dmu+bb)*s+j]
+				}
+				u[(c*nmu+a)*s+j] = acc
+			}
+		}
+	}
+}

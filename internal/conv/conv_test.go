@@ -1,0 +1,134 @@
+package conv
+
+import (
+	"testing"
+	"testing/quick"
+
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+	"soifft/internal/window"
+)
+
+func design(t testing.TB, p window.Params) *window.Filter {
+	t.Helper()
+	f, err := window.Design(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func smallParams() window.Params {
+	// Segments=4, DMu*S=28, chunks=8 per ... M = 224, N = 896.
+	return window.Params{N: 896, Segments: 4, NMu: 8, DMu: 7, B: 24}
+}
+
+func TestVariantsMatchDense(t *testing.T) {
+	f := design(t, smallParams())
+	c0, c1 := 0, f.Chunks()
+	x := ref.RandomVector(InputLen(f, c0, c1), 1)
+	want := make([]complex128, OutputLen(f, c0, c1))
+	ApplyDense(f, want, x, c0, c1)
+	for _, v := range AllVariants {
+		for _, workers := range []int{1, 3} {
+			got := make([]complex128, OutputLen(f, c0, c1))
+			Apply(v, f, got, x, c0, c1, workers)
+			if e := cvec.RelErrL2(got, want); e > 1e-13 {
+				t.Errorf("%v workers=%d: error vs dense %g", v, workers, e)
+			}
+		}
+	}
+}
+
+func TestChunkRangeDecomposition(t *testing.T) {
+	// Computing [0,C) in one call must equal computing [0,k) and [k,C)
+	// separately with correspondingly offset inputs — the property the
+	// distributed version relies on (each rank owns a chunk range).
+	f := design(t, smallParams())
+	C := f.Chunks()
+	x := ref.RandomVector(InputLen(f, 0, C), 2)
+	whole := make([]complex128, OutputLen(f, 0, C))
+	Apply(Buffered, f, whole, x, 0, C, 2)
+
+	for _, k := range []int{1, 3, C / 2, C - 1} {
+		lo := make([]complex128, OutputLen(f, 0, k))
+		hi := make([]complex128, OutputLen(f, k, C))
+		Apply(Buffered, f, lo, x, 0, k, 1)
+		Apply(Buffered, f, hi, x[k*f.DMu*f.Segments:], k, C, 1)
+		got := append(append([]complex128{}, lo...), hi...)
+		if e := cvec.RelErrL2(got, whole); e != 0 {
+			t.Errorf("split at %d: recombined range differs by %g", k, e)
+		}
+	}
+}
+
+func TestInputOutputLen(t *testing.T) {
+	f := design(t, smallParams())
+	if got := InputLen(f, 0, 1); got != f.B*f.Segments {
+		t.Errorf("InputLen one chunk = %d, want %d", got, f.B*f.Segments)
+	}
+	if got := InputLen(f, 0, f.Chunks()); got != f.N+f.GhostElems() {
+		t.Errorf("InputLen all chunks = %d, want N+ghost = %d", got, f.N+f.GhostElems())
+	}
+	if got := OutputLen(f, 0, f.Chunks()); got != f.MPrime()*f.Segments {
+		t.Errorf("OutputLen all = %d, want N' = %d", got, f.MPrime()*f.Segments)
+	}
+	if InputLen(f, 3, 3) != 0 || OutputLen(f, 3, 3) != 0 {
+		t.Error("empty range should need/produce nothing")
+	}
+}
+
+func TestApplyPanicsOnShortBuffers(t *testing.T) {
+	f := design(t, smallParams())
+	for _, fn := range []func(){
+		func() { Apply(Baseline, f, make([]complex128, 1), make([]complex128, InputLen(f, 0, 2)), 0, 2, 1) },
+		func() { Apply(Baseline, f, make([]complex128, OutputLen(f, 0, 2)), make([]complex128, 1), 0, 2, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestQuickVariantsAgree(t *testing.T) {
+	// Random small parameter tuples: all variants must agree bit-for-bit
+	// in structure (same sums up to fp reassociation).
+	fn := func(segSel, bSel, muSel uint8, seed int64) bool {
+		segs := []int{2, 4, 8}[int(segSel)%3]
+		b := 3 + int(bSel)%10
+		var nmu, dmu int
+		switch muSel % 3 {
+		case 0:
+			nmu, dmu = 8, 7
+		case 1:
+			nmu, dmu = 5, 4
+		default:
+			nmu, dmu = 3, 2
+		}
+		chunks := 4
+		m := dmu * segs * chunks
+		p := window.Params{N: m * segs, Segments: segs, NMu: nmu, DMu: dmu, B: b}
+		if p.Validate() != nil {
+			return true // structurally invalid tuple (e.g. too few segments for mu)
+		}
+		f, err := window.Design(p)
+		if err != nil {
+			return false
+		}
+		x := ref.RandomVector(InputLen(f, 0, f.Chunks()), seed)
+		outs := make([][]complex128, len(AllVariants))
+		for i, v := range AllVariants {
+			outs[i] = make([]complex128, OutputLen(f, 0, f.Chunks()))
+			Apply(v, f, outs[i], x, 0, f.Chunks(), 2)
+		}
+		return cvec.RelErrL2(outs[1], outs[0]) < 1e-13 && cvec.RelErrL2(outs[2], outs[0]) < 1e-13
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

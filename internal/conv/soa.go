@@ -1,0 +1,91 @@
+package conv
+
+import (
+	"fmt"
+
+	"soifft/internal/cvec"
+	"soifft/internal/par"
+	"soifft/internal/window"
+)
+
+// ApplySoA is the Buffered convolution variant on struct-of-arrays data
+// (separate real and imaginary planes). The paper's kernels "internally use
+// 'Struct of Arrays' (SoA) layout for arrays with complex numbers that
+// avoids gather and scatter or cross-lane operations" (Section 5.2.4); in
+// Go the equivalent benefit is that the four inner-product accumulation
+// chains (rr, ii, ri, ir) become independent float64 recurrences over
+// contiguous float slices, with no complex128 value shuffling.
+//
+// x and u follow the same indexing contract as Apply; results match Apply
+// to within floating-point reassociation.
+func ApplySoA(f *window.Filter, u, x cvec.SoA, c0, c1, workers int) {
+	if c1 <= c0 {
+		return
+	}
+	if x.Len() < InputLen(f, c0, c1) {
+		panic(fmt.Sprintf("conv: SoA input too short: %d < %d", x.Len(), InputLen(f, c0, c1)))
+	}
+	if u.Len() < OutputLen(f, c0, c1) {
+		panic(fmt.Sprintf("conv: SoA output too short: %d < %d", u.Len(), OutputLen(f, c0, c1)))
+	}
+	s := f.Segments
+	nmu, dmu, b := f.NMu, f.DMu, f.B
+	nchunks := c1 - c0
+	par.For(workers, s, func(jlo, jhi int) {
+		// Per-lane taps, split into planes.
+		tapsRe := make([][]float64, nmu)
+		tapsIm := make([][]float64, nmu)
+		for a := range tapsRe {
+			tapsRe[a] = make([]float64, b)
+			tapsIm[a] = make([]float64, b)
+		}
+		ringRe := make([]float64, b)
+		ringIm := make([]float64, b)
+		for j := jlo; j < jhi; j++ {
+			for a := 0; a < nmu; a++ {
+				src := f.Taps[a]
+				for bb := 0; bb < b; bb++ {
+					tapsRe[a][bb] = real(src[bb*s+j])
+					tapsIm[a][bb] = imag(src[bb*s+j])
+				}
+			}
+			for bb := 0; bb < b; bb++ {
+				ringRe[bb] = x.Re[bb*s+j]
+				ringIm[bb] = x.Im[bb*s+j]
+			}
+			head := 0
+			for c := 0; ; c++ {
+				for a := 0; a < nmu; a++ {
+					tre, tim := tapsRe[a], tapsIm[a]
+					var accRe, accIm float64
+					bb := 0
+					for i := head; i < b; i, bb = i+1, bb+1 {
+						vr, vi := ringRe[i], ringIm[i]
+						accRe += tre[bb]*vr - tim[bb]*vi
+						accIm += tre[bb]*vi + tim[bb]*vr
+					}
+					for i := 0; i < head; i, bb = i+1, bb+1 {
+						vr, vi := ringRe[i], ringIm[i]
+						accRe += tre[bb]*vr - tim[bb]*vi
+						accIm += tre[bb]*vi + tim[bb]*vr
+					}
+					idx := (c*nmu+a)*s + j
+					u.Re[idx] = accRe
+					u.Im[idx] = accIm
+				}
+				if c == nchunks-1 {
+					break
+				}
+				nextBase := (c+1)*dmu*s + (b-dmu)*s
+				for d := 0; d < dmu; d++ {
+					ringRe[head] = x.Re[nextBase+d*s+j]
+					ringIm[head] = x.Im[nextBase+d*s+j]
+					head++
+					if head == b {
+						head = 0
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package conv
+
+import (
+	"fmt"
+	"testing"
+
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+	"soifft/internal/window"
+)
+
+func TestSoAMatchesAoS(t *testing.T) {
+	f := design(t, smallParams())
+	c0, c1 := 0, f.Chunks()
+	x := ref.RandomVector(InputLen(f, c0, c1), 4)
+	want := make([]complex128, OutputLen(f, c0, c1))
+	Apply(Buffered, f, want, x, c0, c1, 1)
+
+	xs := cvec.FromComplex(x)
+	us := cvec.NewSoA(OutputLen(f, c0, c1))
+	for _, workers := range []int{1, 3} {
+		ApplySoA(f, us, xs, c0, c1, workers)
+		if e := cvec.RelErrL2(us.ToComplex(), want); e > 1e-14 {
+			t.Errorf("workers=%d: SoA differs from AoS by %g", workers, e)
+		}
+	}
+}
+
+func TestSoAChunkRange(t *testing.T) {
+	f := design(t, smallParams())
+	C := f.Chunks()
+	x := ref.RandomVector(InputLen(f, 0, C), 5)
+	xs := cvec.FromComplex(x)
+	whole := cvec.NewSoA(OutputLen(f, 0, C))
+	ApplySoA(f, whole, xs, 0, C, 1)
+	k := C / 2
+	lo := cvec.NewSoA(OutputLen(f, 0, k))
+	hi := cvec.NewSoA(OutputLen(f, k, C))
+	ApplySoA(f, lo, xs, 0, k, 1)
+	ApplySoA(f, hi, cvec.SoA{Re: xs.Re[k*f.DMu*f.Segments:], Im: xs.Im[k*f.DMu*f.Segments:]}, k, C, 1)
+	got := append(lo.ToComplex(), hi.ToComplex()...)
+	if e := cvec.RelErrL2(got, whole.ToComplex()); e != 0 {
+		t.Errorf("SoA split ranges differ: %g", e)
+	}
+}
+
+func TestSoAPanicsOnShortBuffers(t *testing.T) {
+	f := design(t, smallParams())
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ApplySoA(f, cvec.NewSoA(1), cvec.NewSoA(InputLen(f, 0, 2)), 0, 2, 1)
+}
+
+func BenchmarkSoAVsAoS(b *testing.B) {
+	const chunks = 64
+	for _, segs := range []int{8, 64} {
+		p := window.Params{N: segs * segs * 7 * chunks, Segments: segs, NMu: 8, DMu: 7, B: 72}
+		f, err := window.Design(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		x := ref.RandomVector(InputLen(f, 0, chunks), 1)
+		u := make([]complex128, OutputLen(f, 0, chunks))
+		xs := cvec.FromComplex(x)
+		us := cvec.NewSoA(len(u))
+		b.Run(fmt.Sprintf("AoS/segments=%d", segs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Apply(Buffered, f, u, x, 0, chunks, 1)
+			}
+		})
+		b.Run(fmt.Sprintf("SoA/segments=%d", segs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ApplySoA(f, us, xs, 0, chunks, 1)
+			}
+		})
+	}
+}

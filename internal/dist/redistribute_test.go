@@ -1,0 +1,120 @@
+package dist
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"soifft/internal/cvec"
+	"soifft/internal/mpi"
+	"soifft/internal/ref"
+	"soifft/internal/soi"
+)
+
+func TestBlockToCyclicAndBack(t *testing.T) {
+	for _, world := range []int{1, 2, 4} {
+		const localN = 24
+		n := localN * world
+		x := ref.RandomVector(n, int64(world))
+		cyc := make([]complex128, n) // cyc[r*localN + j] = cyclic rank r, position j
+		var mu sync.Mutex
+		err := mpi.Run(world, func(c mpi.Comm) error {
+			r := c.Rank()
+			got, err := BlockToCyclic(c, x[r*localN:(r+1)*localN])
+			if err != nil {
+				return err
+			}
+			// Verify directly against the definition.
+			for j, v := range got {
+				g := r + j*world
+				if v != x[g] {
+					return fmt.Errorf("rank %d pos %d: got %v want x[%d]=%v", r, j, v, g, x[g])
+				}
+			}
+			mu.Lock()
+			copy(cyc[r*localN:], got)
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round trip back to block distribution.
+		err = mpi.Run(world, func(c mpi.Comm) error {
+			r := c.Rank()
+			back, err := CyclicToBlock(c, cyc[r*localN:(r+1)*localN])
+			if err != nil {
+				return err
+			}
+			for i, v := range back {
+				if v != x[r*localN+i] {
+					return fmt.Errorf("rank %d: round trip differs at %d", r, i)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestRedistributeValidation(t *testing.T) {
+	err := mpi.Run(3, func(c mpi.Comm) error {
+		if _, err := BlockToCyclic(c, make([]complex128, 7)); err == nil {
+			return fmt.Errorf("7 %% 3 != 0 accepted")
+		}
+		if _, err := CyclicToBlock(c, make([]complex128, 8)); err == nil {
+			return fmt.Errorf("8 %% 3 != 0 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCyclicInputPipeline exercises the intended composition: data arrives
+// cyclic, is redistributed to blocks, transformed with the distributed SOI,
+// and the in-order spectrum comes out block-distributed.
+func TestCyclicInputPipeline(t *testing.T) {
+	const world = 4
+	p := testParams(4, 4)
+	x := ref.RandomVector(p.N, 55)
+	want := fftRef(x)
+	localN := p.N / world
+	// Build the cyclic view of x: rank r holds x[r], x[r+P], ...
+	cyc := make([]complex128, p.N)
+	for r := 0; r < world; r++ {
+		for j := 0; j < localN; j++ {
+			cyc[r*localN+j] = x[r+j*world]
+		}
+	}
+	out := make([]complex128, p.N)
+	var mu sync.Mutex
+	err := mpi.Run(world, func(c mpi.Comm) error {
+		r := c.Rank()
+		block, err := CyclicToBlock(c, cyc[r*localN:(r+1)*localN])
+		if err != nil {
+			return err
+		}
+		d, err := NewSOI(c, p, soi.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		dst := make([]complex128, localN)
+		if err := d.Forward(dst, block); err != nil {
+			return err
+		}
+		mu.Lock()
+		copy(out[r*localN:], dst)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := cvec.RelErrL2(out, want); e > 1e-6 {
+		t.Errorf("cyclic pipeline error %g", e)
+	}
+}

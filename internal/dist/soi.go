@@ -1,0 +1,264 @@
+// Package dist implements the two distributed 1D FFTs the paper compares:
+//
+//   - SOI (Fig. 2): convolution-and-oversampling with a nearest-neighbour
+//     ghost exchange, local S-point FFTs, ONE all-to-all, local M'-point
+//     FFTs with fused projection/demodulation. With several segments per
+//     rank the per-segment all-to-alls are pipelined against the local
+//     FFTs, the communication/computation overlap of Section 6.1.
+//
+//   - Cooley-Tukey (Fig. 1): the conventional factorization with THREE
+//     all-to-all exchanges (the mkl-fft stand-in baseline).
+//
+// Both are SPMD programs over an mpi.Comm, agnostic to the transport
+// (in-process, TCP, or the simulated cluster). Both consume a block-
+// distributed input (rank p owns x[p*N/P : (p+1)*N/P]) and produce the
+// block-distributed in-order spectrum.
+package dist
+
+import (
+	"fmt"
+
+	"soifft/internal/mpi"
+	"soifft/internal/soi"
+	"soifft/internal/trace"
+	"soifft/internal/window"
+)
+
+// SOI is a distributed Segment-of-Interest FFT plan bound to a communicator.
+type SOI struct {
+	comm mpi.Comm
+	plan *soi.Plan
+
+	segPerRank    int // segments owned per rank (the paper's "segments per MPI process")
+	chunksPerRank int
+	localN        int // input/output elements per rank = N/P
+	rowsPerRank   int // M'/P rows of the permutation matrix per rank
+
+	// Breakdown, when non-nil, accumulates per-phase wall time on this rank.
+	Breakdown *trace.Breakdown
+
+	// NoOverlap disables the pipelining of per-segment all-to-alls with
+	// local FFTs (for ablation measurements).
+	NoOverlap bool
+}
+
+// NewSOI builds the distributed plan. p.Segments is the total segment count
+// and must be a multiple of the world size; every rank must own a whole
+// number of convolution chunks. All ranks must pass identical parameters
+// (the deterministic window design guarantees identical operators).
+func NewSOI(c mpi.Comm, p window.Params, opts soi.Options) (*SOI, error) {
+	plan, err := soi.NewPlan(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewSOIFromPlan(c, plan)
+}
+
+// NewSOIFromPlan binds an existing single-address-space plan to a
+// communicator, sharing its (expensive) window design and FFT sub-plans.
+// The plan must not be mutated; it is safe to share one plan across many
+// ranks of an in-process world and across repeated transforms.
+func NewSOIFromPlan(c mpi.Comm, plan *soi.Plan) (*SOI, error) {
+	p := plan.Win.Params
+	world := c.Size()
+	if p.Segments%world != 0 {
+		return nil, fmt.Errorf("dist: segments %d not a multiple of world size %d", p.Segments, world)
+	}
+	if p.Chunks()%world != 0 {
+		return nil, fmt.Errorf("dist: chunk count %d not a multiple of world size %d", p.Chunks(), world)
+	}
+	if p.MPrime()%world != 0 {
+		return nil, fmt.Errorf("dist: M'=%d not a multiple of world size %d", p.MPrime(), world)
+	}
+	d := &SOI{
+		comm:          c,
+		plan:          plan,
+		segPerRank:    p.Segments / world,
+		chunksPerRank: p.Chunks() / world,
+		localN:        p.N / world,
+		rowsPerRank:   p.MPrime() / world,
+	}
+	if ghost := p.GhostElems(); ghost >= p.N {
+		return nil, fmt.Errorf("dist: ghost region %d spans the whole input N=%d; increase N or reduce B", ghost, p.N)
+	}
+	return d, nil
+}
+
+// Params returns the SOI parameters.
+func (d *SOI) Params() window.Params { return d.plan.Win.Params }
+
+// LocalN returns the per-rank input/output length N/P.
+func (d *SOI) LocalN() int { return d.localN }
+
+// EstimatedError returns the designed alias bound.
+func (d *SOI) EstimatedError() float64 { return d.plan.EstimatedError() }
+
+// Tags used by the SOI exchanges (below the collective-reserved space).
+const (
+	tagGhost = 100 + iota
+)
+
+// Forward computes this rank's block of the in-order spectrum: src is the
+// rank's N/P input elements, dst receives its N/P output elements.
+func (d *SOI) Forward(dst, src []complex128) error {
+	p := d.plan.Win.Params
+	if len(src) < d.localN || len(dst) < d.localN {
+		return fmt.Errorf("dist: buffers too short: need %d", d.localN)
+	}
+	src, dst = src[:d.localN], dst[:d.localN]
+
+	// Phase 1: nearest-neighbour ghost exchange (latency-bound short
+	// messages, Section 5.1) and convolution + S-point FFTs.
+	stopEtc := timer(d.Breakdown, trace.PhaseEtc)
+	xx, err := d.exchangeGhost(src)
+	stopEtc()
+	if err != nil {
+		return err
+	}
+	stopConv := timer(d.Breakdown, trace.PhaseConv)
+	u := make([]complex128, d.rowsPerRank*p.Segments)
+	c0 := d.comm.Rank() * d.chunksPerRank
+	d.plan.ConvolveAndFP(u, xx, c0, c0+d.chunksPerRank)
+	stopConv()
+
+	// Phase 2+3: per-segment-group all-to-alls, pipelined with the local
+	// M'-point FFT + demodulation of the previously received group.
+	return d.exchangeAndFinish(dst, u)
+}
+
+// Inverse computes this rank's block of the normalized inverse DFT via the
+// conjugation identity IFFT(x) = conj(SOI(conj(x)))/N. The conjugations are
+// purely rank-local, so the distributed structure is identical to Forward.
+func (d *SOI) Inverse(dst, src []complex128) error {
+	if len(src) < d.localN || len(dst) < d.localN {
+		return fmt.Errorf("dist: buffers too short: need %d", d.localN)
+	}
+	cc := make([]complex128, d.localN)
+	for i, v := range src[:d.localN] {
+		cc[i] = complex(real(v), -imag(v))
+	}
+	if err := d.Forward(dst, cc); err != nil {
+		return err
+	}
+	inv := 1 / float64(d.plan.Win.N)
+	for i, v := range dst[:d.localN] {
+		dst[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+	return nil
+}
+
+// exchangeGhost gathers src plus the (B-DMu)*S ghost elements following the
+// rank's block (circularly), which may span several successor ranks. Rank r
+// simultaneously serves the mirrored prefixes to its predecessors.
+func (d *SOI) exchangeGhost(src []complex128) ([]complex128, error) {
+	ghost := d.plan.Win.GhostElems()
+	xx := make([]complex128, d.localN+ghost)
+	copy(xx, src)
+	world := d.comm.Size()
+	r := d.comm.Rank()
+	remaining := ghost
+	for j := 1; remaining > 0; j++ {
+		if j >= world+1 {
+			return nil, fmt.Errorf("dist: ghost exchange did not converge")
+		}
+		// Length of the piece exchanged with the j-th neighbour.
+		l := min(remaining, d.localN)
+		to := ((r-j)%world + world) % world // predecessor needing my prefix
+		from := (r + j) % world             // successor providing my suffix
+		got, err := mpi.SendRecv(d.comm, to, src[:l], from, tagGhost+j)
+		if err != nil {
+			return nil, err
+		}
+		if len(got) != l {
+			return nil, fmt.Errorf("dist: ghost piece %d has %d elems, want %d", j, len(got), l)
+		}
+		copy(xx[d.localN+(ghost-remaining):], got)
+		remaining -= l
+	}
+	return xx, nil
+}
+
+// exchangeAndFinish runs segPerRank all-to-alls (one per local segment
+// index g, carrying lane q*segPerRank+g to each rank q), assembling each
+// segment vector t_f and finishing it with the M'-point FFT + projection +
+// demodulation. Unless NoOverlap is set, exchange g+1 proceeds concurrently
+// with the finish of segment g.
+func (d *SOI) exchangeAndFinish(dst, u []complex128) error {
+	p := d.plan.Win.Params
+	world := d.comm.Size()
+	mp := p.MPrime()
+	m := p.M()
+
+	results := make(chan arrived, 1) // capacity 1: next exchange overlaps current finish
+
+	exchange := func(g int) {
+		stop := timer(d.Breakdown, trace.PhaseExposedMPI)
+		defer stop()
+		send := make([][]complex128, world)
+		for q := 0; q < world; q++ {
+			f := q*d.segPerRank + g // global segment index for destination q
+			blk := make([]complex128, d.rowsPerRank)
+			for ml := 0; ml < d.rowsPerRank; ml++ {
+				blk[ml] = u[ml*p.Segments+f]
+			}
+			send[q] = blk
+		}
+		recv, err := mpi.AllToAll(d.comm, send)
+		results <- arrived{g: g, blocks: recv, err: err}
+	}
+
+	if d.NoOverlap {
+		// Sequential: exchange then finish, one group at a time.
+		for g := 0; g < d.segPerRank; g++ {
+			exchange(g)
+			if err := d.finishGroup(dst, <-results, mp, m); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	go exchange(0)
+	for g := 0; g < d.segPerRank; g++ {
+		res := <-results
+		if g+1 < d.segPerRank {
+			go exchange(g + 1)
+		}
+		if err := d.finishGroup(dst, res, mp, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// arrived is one completed per-segment-group all-to-all.
+type arrived struct {
+	g      int
+	blocks [][]complex128
+	err    error
+}
+
+// finishGroup assembles t_f from the received per-rank blocks and completes
+// the segment into its slot of dst.
+func (d *SOI) finishGroup(dst []complex128, res arrived, mp, m int) error {
+	if res.err != nil {
+		return res.err
+	}
+	stop := timer(d.Breakdown, trace.PhaseLocalFFT)
+	defer stop()
+	tf := make([]complex128, mp)
+	for src, blk := range res.blocks {
+		if len(blk) != d.rowsPerRank {
+			return fmt.Errorf("dist: block from rank %d has %d rows, want %d", src, len(blk), d.rowsPerRank)
+		}
+		copy(tf[src*d.rowsPerRank:], blk)
+	}
+	d.plan.FinishSegment(dst[res.g*m:(res.g+1)*m], tf, nil)
+	return nil
+}
+
+func timer(b *trace.Breakdown, phase string) func() {
+	if b == nil {
+		return func() {}
+	}
+	return b.Timer(phase)
+}

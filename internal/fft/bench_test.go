@@ -1,0 +1,114 @@
+package fft
+
+import (
+	"fmt"
+	"testing"
+
+	"soifft/internal/ref"
+)
+
+func benchTransform(b *testing.B, n int) {
+	p := MustPlan(n)
+	x := ref.RandomVector(n, 1)
+	dst := make([]complex128, n)
+	b.SetBytes(int64(n) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(dst, x)
+	}
+	b.ReportMetric(5*float64(n)*log2(n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+}
+
+func log2(n int) float64 {
+	l := 0.0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func BenchmarkPlanPow2(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 14, 1 << 18} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchTransform(b, n) })
+	}
+}
+
+func BenchmarkPlanMixedRadix(b *testing.B) {
+	// The SOI-relevant shapes: factors of 7 (mu = 8/7 lengths) and 5.
+	for _, n := range []int{7 * 1024, 5 * 4096, 3 * 3 * 5 * 7 * 128} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchTransform(b, n) })
+	}
+}
+
+func BenchmarkPlanBluestein(b *testing.B) {
+	for _, n := range []int{1009, 65537} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) { benchTransform(b, n) })
+	}
+}
+
+func BenchmarkSixStepVariants(b *testing.B) {
+	const n = 1 << 16
+	x := ref.RandomVector(n, 2)
+	dst := make([]complex128, n)
+	for _, v := range AllVariants {
+		b.Run(v.String(), func(b *testing.B) {
+			s, err := NewSixStep(n, v, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(n) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Forward(dst, x)
+			}
+		})
+	}
+}
+
+func BenchmarkBatchSmallFFTs(b *testing.B) {
+	// The I_M' (x) F_P stage shape: many tiny transforms.
+	const p, count = 64, 4096
+	for _, workers := range []int{1, 0} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			batch, err := NewBatch(p, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			x := ref.RandomVector(p*count, 3)
+			dst := make([]complex128, p*count)
+			b.SetBytes(int64(p*count) * 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				batch.Transform(dst, x, count, p, Forward)
+			}
+		})
+	}
+}
+
+func BenchmarkTwiddleSchemes(b *testing.B) {
+	// Full-table vs dynamic-block twiddle access (the trade Section 5.2.2
+	// calls the "dynamic block scheme").
+	s, err := NewSixStep(1<<16, SixStepOpt, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dynamic-block", func(b *testing.B) {
+		var acc complex128
+		for i := 0; i < b.N; i++ {
+			acc += s.twiddleOpt(i % s.n)
+		}
+		_ = acc
+	})
+	naive, err := NewSixStep(1<<16, SixStepNaive, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full-table", func(b *testing.B) {
+		var acc complex128
+		for i := 0; i < b.N; i++ {
+			acc += naive.twFull[i%naive.n]
+		}
+		_ = acc
+	})
+}

@@ -1,0 +1,118 @@
+package fft
+
+import "math"
+
+// Fully unrolled small transforms ("codelets"). The paper unrolls the
+// leaves of the FFT recursion for instruction-level parallelism and
+// register reuse (Section 5.2.4, "Register usage and ILP Optimizations");
+// these are the Go equivalents, and they carry the hottest distributed
+// path: the I_M' (x) F_P stage runs millions of P-point transforms with
+// P = 8 or 16 in typical configurations.
+//
+// All codelets are forward (negative exponent), read every input before the
+// first write (safe for dst aliasing src), and are exact reorderings of the
+// reference DFT.
+
+// invSqrt2 = cos(pi/4), the radix-8 twiddle constant.
+var invSqrt2 = math.Sqrt(2) / 2
+
+// dft4 computes the forward 4-point DFT.
+func dft4(dst, src []complex128) {
+	u0, u1, u2, u3 := src[0], src[1], src[2], src[3]
+	a, c := u0+u2, u0-u2
+	b, d := u1+u3, u1-u3
+	id := mulByI(d)
+	dst[0] = a + b
+	dst[1] = c - id
+	dst[2] = a - b
+	dst[3] = c + id
+}
+
+// dft8 computes the forward 8-point DFT via the radix-2 split into two
+// 4-point DFTs: even outputs from the half-sums, odd outputs from the
+// twiddled half-differences.
+func dft8(dst, src []complex128) {
+	u0, u1, u2, u3 := src[0], src[1], src[2], src[3]
+	u4, u5, u6, u7 := src[4], src[5], src[6], src[7]
+
+	// Half sums (feed the even outputs).
+	a0, a1, a2, a3 := u0+u4, u1+u5, u2+u6, u3+u7
+	// Half differences, twiddled by W8^k (feed the odd outputs).
+	b0 := u0 - u4
+	b1 := u1 - u5
+	b2 := u2 - u6
+	b3 := u3 - u7
+	// W8^1 = c*(1-i), W8^2 = -i, W8^3 = -c*(1+i) with c = sqrt(2)/2.
+	b1 = complex(invSqrt2*(real(b1)+imag(b1)), invSqrt2*(imag(b1)-real(b1)))
+	b2 = complex(imag(b2), -real(b2))
+	b3 = complex(invSqrt2*(imag(b3)-real(b3)), -invSqrt2*(real(b3)+imag(b3)))
+
+	// DFT4 of the a's -> even bins.
+	{
+		a, c := a0+a2, a0-a2
+		b, d := a1+a3, a1-a3
+		id := mulByI(d)
+		dst[0] = a + b
+		dst[2] = c - id
+		dst[4] = a - b
+		dst[6] = c + id
+	}
+	// DFT4 of the b's -> odd bins.
+	{
+		a, c := b0+b2, b0-b2
+		b, d := b1+b3, b1-b3
+		id := mulByI(d)
+		dst[1] = a + b
+		dst[3] = c - id
+		dst[5] = a - b
+		dst[7] = c + id
+	}
+}
+
+// w16 holds W16^k for k = 1..3 (the nontrivial twiddles of the 16-point
+// radix-2 split; W16^2 = W8^1 and W16^0 = 1 are folded inline).
+var w16 = [4]complex128{
+	1,
+	complex(math.Cos(2*math.Pi/16), -math.Sin(2*math.Pi/16)),
+	complex(invSqrt2, -invSqrt2),
+	complex(math.Cos(6*math.Pi/16), -math.Sin(6*math.Pi/16)),
+}
+
+// dft16 computes the forward 16-point DFT via the radix-2 split into two
+// 8-point DFTs.
+func dft16(dst, src []complex128) {
+	var a, b [8]complex128
+	for k := 0; k < 8; k++ {
+		u, v := src[k], src[k+8]
+		a[k] = u + v
+		d := u - v
+		if k < 4 {
+			b[k] = d * w16[k]
+		} else {
+			// W16^{k} = -i * W16^{k-4}.
+			b[k] = mulByI(d*w16[k-4]) * -1
+		}
+	}
+	var ea, eb [8]complex128
+	dft8(ea[:], a[:])
+	dft8(eb[:], b[:])
+	for k := 0; k < 8; k++ {
+		dst[2*k] = ea[k]
+		dst[2*k+1] = eb[k]
+	}
+}
+
+// codeletForward dispatches to an unrolled transform when one exists.
+func codeletForward(dst, src []complex128, n int) bool {
+	switch n {
+	case 4:
+		dft4(dst, src)
+	case 8:
+		dft8(dst, src)
+	case 16:
+		dft16(dst, src)
+	default:
+		return false
+	}
+	return true
+}

@@ -1,0 +1,94 @@
+package fft
+
+import (
+	"testing"
+
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+)
+
+func TestCodeletsMatchReference(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		x := ref.RandomVector(n, int64(n))
+		dst := make([]complex128, n)
+		if !codeletForward(dst, x, n) {
+			t.Fatalf("no codelet for n=%d", n)
+		}
+		if e := cvec.RelErrL2(dst, ref.DFT(x)); e > 1e-14 {
+			t.Errorf("codelet n=%d: error %g", n, e)
+		}
+	}
+	if codeletForward(nil, nil, 6) {
+		t.Error("codelet claimed to handle n=6")
+	}
+}
+
+func TestCodeletsInPlace(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		x := ref.RandomVector(n, 3)
+		want := ref.DFT(x)
+		codeletForward(x, x, n)
+		if e := cvec.RelErrL2(x, want); e > 1e-14 {
+			t.Errorf("in-place codelet n=%d: error %g", n, e)
+		}
+	}
+}
+
+func TestCodeletInverseThroughPlan(t *testing.T) {
+	for _, n := range []int{4, 8, 16} {
+		p := MustPlan(n)
+		x := ref.RandomVector(n, 5)
+		y := make([]complex128, n)
+		z := make([]complex128, n)
+		p.Forward(y, x)
+		p.Inverse(z, y)
+		if e := cvec.RelErrL2(z, x); e > 1e-14 {
+			t.Errorf("n=%d codelet round trip: %g", n, e)
+		}
+		if e := cvec.RelErrL2(z, ref.IDFT(y)); e > 1e-13 {
+			t.Errorf("n=%d codelet inverse vs reference: %g", n, e)
+		}
+	}
+}
+
+func TestRadix8Schedule(t *testing.T) {
+	// Powers of two must factor into radix-8 passes with a small remainder.
+	radices, smooth := factorize(1 << 12)
+	if !smooth {
+		t.Fatal("2^12 not smooth")
+	}
+	eights := 0
+	for _, r := range radices {
+		if r == 8 {
+			eights++
+		}
+	}
+	if eights != 4 {
+		t.Errorf("2^12 schedule %v: want four radix-8 passes", radices)
+	}
+	radices, _ = factorize(1 << 13) // 8,8,8,8,2
+	if len(radices) != 5 || radices[4] != 2 {
+		t.Errorf("2^13 schedule %v", radices)
+	}
+	radices, _ = factorize(1 << 14) // 8,8,8,8,4
+	if len(radices) != 5 || radices[4] != 4 {
+		t.Errorf("2^14 schedule %v", radices)
+	}
+}
+
+func BenchmarkCodelets(b *testing.B) {
+	for _, n := range []int{8, 16} {
+		p := MustPlan(n)
+		x := ref.RandomVector(n, 1)
+		dst := make([]complex128, n)
+		b.Run(planName(n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Forward(dst, x)
+			}
+		})
+	}
+}
+
+func planName(n int) string {
+	return map[int]string{8: "n=8", 16: "n=16"}[n]
+}

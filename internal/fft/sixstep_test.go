@@ -1,0 +1,174 @@
+package fft
+
+import (
+	"testing"
+
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+)
+
+var sixStepSizes = []int{16, 64, 100, 144, 210, 256, 1024, 4096, 1 << 14, 5 * 1024, 7 * 1024}
+
+func TestSixStepMatchesPlan(t *testing.T) {
+	for _, variant := range AllVariants {
+		for _, n := range sixStepSizes {
+			s, err := NewSixStep(n, variant, 4)
+			if err != nil {
+				t.Fatalf("%v n=%d: %v", variant, n, err)
+			}
+			x := ref.RandomVector(n, int64(n)+int64(variant))
+			want := make([]complex128, n)
+			MustPlan(n).Forward(want, x)
+			got := make([]complex128, n)
+			s.Forward(got, x)
+			if e := cvec.RelErrL2(got, want); e > 1e-11 {
+				t.Errorf("%v n=%d: relative error %g", variant, n, e)
+			}
+		}
+	}
+}
+
+func TestSixStepSmallVsReferenceDFT(t *testing.T) {
+	for _, variant := range AllVariants {
+		n := 144
+		s, err := NewSixStep(n, variant, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := ref.RandomVector(n, 77)
+		got := make([]complex128, n)
+		s.Forward(got, x)
+		if e := cvec.RelErrL2(got, ref.DFT(x)); e > 1e-12 {
+			t.Errorf("%v: error vs reference DFT %g", variant, e)
+		}
+	}
+}
+
+func TestSixStepDemodFusion(t *testing.T) {
+	n := 2048
+	x := ref.RandomVector(n, 5)
+	d := ref.RandomVector(n, 6)
+	want := make([]complex128, n)
+	MustPlan(n).Forward(want, x)
+	for i := range want {
+		want[i] *= d[i]
+	}
+	for _, variant := range AllVariants {
+		s, err := NewSixStep(n, variant, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetDemod(d)
+		got := make([]complex128, n)
+		s.Forward(got, x)
+		if e := cvec.RelErrL2(got, want); e > 1e-11 {
+			t.Errorf("%v: fused demod error %g", variant, e)
+		}
+	}
+}
+
+func TestSixStepRejectsPrime(t *testing.T) {
+	if _, err := NewSixStep(31, SixStepOpt, 1); err == nil {
+		t.Fatal("expected error for prime length")
+	}
+	if _, err := NewSixStep(2, SixStepOpt, 1); err == nil {
+		t.Fatal("expected error for tiny length")
+	}
+}
+
+func TestSixStepSplit(t *testing.T) {
+	s, err := NewSixStep(1<<12, SixStepOpt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n1, n2 := s.Split()
+	if n1*n2 != 1<<12 || n1 != 64 || n2 != 64 {
+		t.Fatalf("split = %d x %d", n1, n2)
+	}
+	if s.N() != 1<<12 {
+		t.Fatalf("N = %d", s.N())
+	}
+}
+
+func TestVariantMetadata(t *testing.T) {
+	if SixStepNaive.MemorySweeps() != 13 {
+		t.Errorf("naive sweeps = %d, want 13 (Fig 4a)", SixStepNaive.MemorySweeps())
+	}
+	for _, v := range []Variant{SixStepOpt, SixStepPipelined, SixStepFineGrain} {
+		if v.MemorySweeps() != 4 {
+			t.Errorf("%v sweeps = %d, want 4 (Fig 4b)", v, v.MemorySweeps())
+		}
+	}
+	names := map[Variant]string{
+		SixStepNaive:     "6-step-naive",
+		SixStepOpt:       "6-step-opt",
+		SixStepPipelined: "latency-hiding",
+		SixStepFineGrain: "fine-grain",
+	}
+	for v, want := range names {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q want %q", int(v), v.String(), want)
+		}
+	}
+}
+
+func TestBatchTransform(t *testing.T) {
+	const n, count = 64, 10
+	b, err := NewBatch(n, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ref.RandomVector(n*count, 11)
+	dst := make([]complex128, n*count)
+	b.Transform(dst, src, count, n, Forward)
+	for i := 0; i < count; i++ {
+		want := ref.DFT(src[i*n : (i+1)*n])
+		if e := cvec.RelErrL2(dst[i*n:(i+1)*n], want); e > 1e-12 {
+			t.Errorf("batch %d: error %g", i, e)
+		}
+	}
+	// Round trip through Inverse restores the input.
+	back := make([]complex128, n*count)
+	b.Transform(back, dst, count, n, Inverse)
+	if e := cvec.RelErrL2(back, src); e > 1e-12 {
+		t.Errorf("batch round-trip error %g", e)
+	}
+}
+
+func TestBatchStrided(t *testing.T) {
+	const n, count = 32, 6
+	b, err := NewBatch(n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := ref.RandomVector(n*count, 13)
+	dst := make([]complex128, n*count)
+	b.TransformStrided(dst, src, count, Forward)
+	for i := 0; i < count; i++ {
+		col := make([]complex128, n)
+		cvec.GatherStride(col, src, i, count)
+		want := ref.DFT(col)
+		got := make([]complex128, n)
+		cvec.GatherStride(got, dst, i, count)
+		if e := cvec.RelErrL2(got, want); e > 1e-12 {
+			t.Errorf("strided batch %d: error %g", i, e)
+		}
+	}
+}
+
+func TestBatchPanicsOnBadArgs(t *testing.T) {
+	b, _ := NewBatch(8, 1)
+	for _, fn := range []func(){
+		func() { b.Transform(make([]complex128, 16), make([]complex128, 16), 2, 4, Forward) }, // dist < n
+		func() { b.Transform(make([]complex128, 8), make([]complex128, 16), 2, 8, Forward) },  // dst short
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,65 @@
+package fft
+
+import "math"
+
+// Direction selects the sign of the transform exponent.
+type Direction int
+
+const (
+	// Forward computes X[k] = sum_j x[j] * exp(-2*pi*i*j*k/n), unnormalized.
+	Forward Direction = -1
+	// Inverse computes x[j] = (1/n) * sum_k X[k] * exp(+2*pi*i*j*k/n).
+	// The 1/n scaling is applied by the public entry points.
+	Inverse Direction = +1
+)
+
+// expi returns exp(i*theta) via the standard library sin/cos, which are
+// accurate to < 1 ulp. Twiddles are always produced from the exact angle for
+// the index (never by repeated multiplication) so long transforms do not
+// accumulate phase drift.
+func expi(theta float64) complex128 {
+	s, c := math.Sincos(theta)
+	return complex(c, s)
+}
+
+// twiddle returns exp(dir * 2*pi*i * k / n).
+func twiddle(dir Direction, k, n int) complex128 {
+	// Reduce k mod n first so the float argument stays small.
+	k %= n
+	return expi(float64(dir) * 2 * math.Pi * float64(k) / float64(n))
+}
+
+// twiddleTable returns w[k] = exp(dir * 2*pi*i * k / n) for k in [0, m).
+func twiddleTable(dir Direction, m, n int) []complex128 {
+	t := make([]complex128, m)
+	for k := range t {
+		t[k] = twiddle(dir, k, n)
+	}
+	return t
+}
+
+// bitLen returns the number of bits needed to represent v.
+func bitLen(v int) int {
+	n := 0
+	for v > 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
+
+// nextPow2 returns the smallest power of two >= n.
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// NextPow2 returns the smallest power of two >= n. Exported for sibling
+// packages that size FFT-backed convolutions.
+func NextPow2(n int) int { return nextPow2(n) }

@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTable2 pins the hardware models against Table 2 of the paper.
+func TestTable2(t *testing.T) {
+	x := XeonE5()
+	if x.Sockets != 2 || x.CoresPerSocket != 8 || x.SMT != 2 || x.SIMDWidth != 4 {
+		t.Errorf("Xeon topology: %+v", x)
+	}
+	if x.ClockGHz != 2.7 || x.PeakGFlops != 346 || x.StreamGBps != 79 {
+		t.Errorf("Xeon rates: %+v", x)
+	}
+	if x.L1KB != 32 || x.L2KB != 256 || x.L3KB != 20480 {
+		t.Errorf("Xeon caches: %+v", x)
+	}
+	if math.Abs(x.Bops()-0.23) > 0.005 {
+		t.Errorf("Xeon bops = %.3f, Table 2 says 0.23", x.Bops())
+	}
+	p := XeonPhi()
+	if p.Sockets != 1 || p.CoresPerSocket != 61 || p.SMT != 4 || p.SIMDWidth != 8 {
+		t.Errorf("Phi topology: %+v", p)
+	}
+	if p.ClockGHz != 1.1 || p.PeakGFlops != 1074 || p.StreamGBps != 150 {
+		t.Errorf("Phi rates: %+v", p)
+	}
+	if p.L1KB != 32 || p.L2KB != 512 || p.L3KB != 0 {
+		t.Errorf("Phi caches: %+v", p)
+	}
+	if math.Abs(p.Bops()-0.14) > 0.005 {
+		t.Errorf("Phi bops = %.3f, Table 2 says 0.14", p.Bops())
+	}
+	if p.Cores() != 61 || x.Cores() != 16 || p.HWThreads() != 244 {
+		t.Error("core counts wrong")
+	}
+	// "a single Xeon Phi chip can deliver ... approximately 6x than a
+	// single Xeon E5 processor" (one socket = 173 GF/s).
+	if ratio := p.PeakGFlops / (x.PeakGFlops / 2); ratio < 5.5 || ratio > 6.5 {
+		t.Errorf("Phi/one-socket-Xeon peak ratio %.2f, paper says ~6x", ratio)
+	}
+	if !strings.Contains(x.String(), "Xeon E5-2680") {
+		t.Error("String() missing name")
+	}
+}
+
+// TestRooflineNumbers pins Section 5.2.1's arithmetic: a 512-point
+// cache-resident FFT has ~0.7 bytes/op, capping Xeon Phi efficiency at 20%;
+// a 16M-point FFT with 5 sweeps has 0.67 bytes/op (~23% bound).
+func TestRooflineNumbers(t *testing.T) {
+	if b := FFTAlgorithmicBops(512, 2); math.Abs(b-0.711) > 0.01 {
+		t.Errorf("512-pt bops = %.3f, paper says ~0.7", b)
+	}
+	if e := MaxFFTEfficiency(XeonPhi(), 512, 2); math.Abs(e-0.20) > 0.01 {
+		t.Errorf("512-pt max efficiency = %.3f, paper says 20%%", e)
+	}
+	if b := FFTAlgorithmicBops(16<<20, 5); math.Abs(b-0.667) > 0.01 {
+		t.Errorf("16M 5-sweep bops = %.3f, paper says 0.67", b)
+	}
+	// (0.14/0.67 = 0.209; the paper rounds this to "~23%".)
+	if e := MaxFFTEfficiency(XeonPhi(), 16<<20, 5); math.Abs(e-0.22) > 0.02 {
+		t.Errorf("16M max efficiency = %.3f, paper says ~23%%", e)
+	}
+	// Convolution has far lower bops than the FFT => higher efficiency.
+	if ConvAlgorithmicBops(72, 8, 7) >= FFTAlgorithmicBops(16<<20, 4) {
+		t.Error("convolution should be less bandwidth-bound than the FFT")
+	}
+	if FFTFlops(1024) != 5*1024*10 {
+		t.Errorf("FFTFlops(1024) = %v", FFTFlops(1024))
+	}
+}
+
+func TestFabricModel(t *testing.T) {
+	f := StampedeFDR()
+	// At the calibration point there is no degradation.
+	if bw := f.PerNodeBandwidth(32); math.Abs(bw-3*GiB) > 1 {
+		t.Errorf("bw(32) = %g", bw)
+	}
+	if f.PerNodeBandwidth(4) != f.PerNodeBandwidth(32) {
+		t.Error("no degradation below the base scale")
+	}
+	// Monotone degradation beyond.
+	prev := f.PerNodeBandwidth(32)
+	for _, n := range []int{64, 128, 256, 512} {
+		bw := f.PerNodeBandwidth(n)
+		if bw >= prev {
+			t.Errorf("bw(%d) = %g did not degrade", n, bw)
+		}
+		prev = bw
+	}
+	// All-to-all time: single node is free; latency term counts messages.
+	if f.AllToAllTime(1, 1e9, 10) != 0 {
+		t.Error("single-node all-to-all should be free")
+	}
+	t0 := f.AllToAllTime(32, 1e9, 0)
+	t1 := f.AllToAllTime(32, 1e9, 1000)
+	if t1 <= t0 {
+		t.Error("latency term missing")
+	}
+}
+
+func TestPCIeModel(t *testing.T) {
+	p := StampedePCIe()
+	if got := p.TransferTime(6e9); math.Abs(got-1) > 1e-12 {
+		t.Errorf("6 GB over 6 GB/s = %v s", got)
+	}
+}

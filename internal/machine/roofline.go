@@ -1,0 +1,58 @@
+package machine
+
+import "math"
+
+// Roofline helpers for the bandwidth analysis of Section 5.2 of the paper.
+
+// FFTFlops returns the canonical operation count 5*N*log2(N) of a length-n
+// complex FFT (the count HPCC G-FFT and the paper's model use).
+func FFTFlops(n int) float64 {
+	return 5 * float64(n) * log2i(n)
+}
+
+// BytesPerElement is the size of a double-precision complex number.
+const BytesPerElement = 16
+
+// FFTAlgorithmicBops returns the bytes-per-ops ratio of a length-n FFT that
+// performs the given number of full memory sweeps (loads or stores of the
+// entire array): sweeps*16*N bytes over 5*N*log2 N flops. A cache-resident
+// FFT has 2 sweeps (one read, one write): for n=512 this gives the paper's
+// ~0.7; the optimized 6-step large FFT with 4 sweeps plus the fine-grain
+// core-to-core read gives 0.67 for n=16M (Section 6.2).
+func FFTAlgorithmicBops(n, sweeps int) float64 {
+	return float64(sweeps) * BytesPerElement * float64(n) / FFTFlops(n)
+}
+
+// MaxFFTEfficiency returns the roofline bound on compute efficiency of a
+// bandwidth-bound FFT on the node: machine bops / algorithmic bops,
+// assuming compute fully overlaps memory transfer (Section 5.2.1: 20% for
+// a 512-point cache-resident FFT on Xeon Phi).
+func MaxFFTEfficiency(node Node, n, sweeps int) float64 {
+	e := node.Bops() / FFTAlgorithmicBops(n, sweeps)
+	if e > 1 {
+		return 1
+	}
+	return e
+}
+
+// ConvAlgorithmicBops returns the bytes-per-ops ratio of the
+// convolution-and-oversampling step: per chunk of nmu*S outputs it streams
+// about (dmu read + nmu written)*S elements while performing 8*B*nmu*S
+// flops, so the ratio is 16*(nmu+dmu)/(8*B*nmu) — far lower than the FFT's,
+// which is why the convolution achieves ~40% efficiency where the FFT gets
+// ~12% (Section 5.3).
+func ConvAlgorithmicBops(b, nmu, dmu int) float64 {
+	return BytesPerElement * float64(nmu+dmu) / (8 * float64(b) * float64(nmu))
+}
+
+func log2i(n int) float64 {
+	l := 0
+	for m := n; m > 1; m >>= 1 {
+		l++
+	}
+	// Exact for powers of two; the smooth curve otherwise.
+	if 1<<l == n {
+		return float64(l)
+	}
+	return math.Log2(float64(n))
+}

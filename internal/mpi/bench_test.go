@@ -1,0 +1,136 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// benchAllToAll measures one all-to-all of blockElems complex values per
+// pair across an in-process world.
+func benchAllToAll(b *testing.B, size, blockElems int) {
+	w, err := NewWorld(size)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	send := make([][][]complex128, size)
+	for r := 0; r < size; r++ {
+		send[r] = make([][]complex128, size)
+		for q := 0; q < size; q++ {
+			send[r][q] = make([]complex128, blockElems)
+		}
+	}
+	b.SetBytes(int64(size) * int64(size) * int64(blockElems) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(size)
+		for r := 0; r < size; r++ {
+			go func(r int) {
+				defer wg.Done()
+				if _, err := AllToAll(w.Comm(r), send[r]); err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkAllToAllInProc(b *testing.B) {
+	for _, size := range []int{4, 8} {
+		for _, elems := range []int{64, 4096} {
+			b.Run(fmt.Sprintf("ranks=%d/block=%d", size, elems), func(b *testing.B) {
+				benchAllToAll(b, size, elems)
+			})
+		}
+	}
+}
+
+func BenchmarkAllToAllTCP(b *testing.B) {
+	const size, elems = 4, 4096
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range listeners {
+		ln, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	nodes := make([]*TCPNode, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			n, err := ConnectTCP(r, size, listeners[r], addrs)
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			nodes[r] = n
+		}(r)
+	}
+	wg.Wait()
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	}()
+	send := make([][]complex128, size)
+	for q := range send {
+		send[q] = make([]complex128, elems)
+	}
+	b.SetBytes(int64(size) * int64(size) * int64(elems) * 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		wg.Add(size)
+		for r := 0; r < size; r++ {
+			go func(r int) {
+				defer wg.Done()
+				if _, err := AllToAll(nodes[r], send); err != nil {
+					b.Error(err)
+				}
+			}(r)
+		}
+		wg.Wait()
+	}
+}
+
+func BenchmarkProxyOverhead(b *testing.B) {
+	// The proxy's chunking cost relative to the bare transport.
+	const elems = 1 << 14
+	payload := make([]complex128, elems)
+	run := func(b *testing.B, useProxy bool, chunk int) {
+		w, _ := NewWorld(2)
+		defer w.Close()
+		var tx, rx Comm = w.Comm(0), w.Comm(1)
+		if useProxy {
+			tx, _ = NewProxy(w.Comm(0), chunk, 6e9, 3e9)
+			rx, _ = NewProxy(w.Comm(1), chunk, 6e9, 3e9)
+		}
+		b.SetBytes(int64(elems) * 16)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			done := make(chan struct{})
+			go func() {
+				rx.Recv(0, 1)
+				close(done)
+			}()
+			if err := tx.Send(1, 1, payload); err != nil {
+				b.Fatal(err)
+			}
+			<-done
+		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, false, 0) })
+	b.Run("proxy-chunk-1k", func(b *testing.B) { run(b, true, 1024) })
+	b.Run("proxy-chunk-4k", func(b *testing.B) { run(b, true, 4096) })
+}

@@ -1,0 +1,140 @@
+package mpi
+
+import "fmt"
+
+// The collectives are written against the Comm interface only, so every
+// transport (in-process, TCP, simulated fabric) gets them for free. Each
+// collective uses its own reserved tag sub-range so concurrent user traffic
+// with ordinary tags can never interfere.
+
+const (
+	tagAllToAll = collectiveTagBase + iota
+	tagBarrier
+	tagBcast
+	tagGather
+	// Collectives involving multiple rounds offset the round index into the
+	// tag, spaced far enough apart to never collide.
+	tagStride = 1 << 20
+)
+
+// AllToAll exchanges send[i] -> rank i and returns recv[i] received from
+// rank i. len(send) must equal Size(). This is the P_erm all-to-all of
+// Equation 1. The schedule is the classic pairwise exchange: P-1 rounds, in
+// round k rank r exchanges with partner r XOR k when P is a power of two
+// (perfectly conflict-free on fat trees) and with (r+k) % P / (r-k) % P
+// otherwise.
+func AllToAll(c Comm, send [][]complex128) ([][]complex128, error) {
+	p := c.Size()
+	if len(send) != p {
+		return nil, fmt.Errorf("mpi: AllToAll send has %d blocks, world size %d", len(send), p)
+	}
+	r := c.Rank()
+	recv := make([][]complex128, p)
+	// Local block never travels; copy to preserve Send's value semantics.
+	recv[r] = append([]complex128(nil), send[r]...)
+	pow2 := p&(p-1) == 0
+	for k := 1; k < p; k++ {
+		tag := tagAllToAll + k*1 // distinct per round within reserved space
+		var to, from int
+		if pow2 {
+			to = r ^ k
+			from = to
+		} else {
+			to = (r + k) % p
+			from = (r - k + p) % p
+		}
+		if err := c.Send(to, tag, send[to]); err != nil {
+			return nil, err
+		}
+		data, _, err := c.Recv(from, tag)
+		if err != nil {
+			return nil, err
+		}
+		recv[from] = data
+	}
+	return recv, nil
+}
+
+// Barrier blocks until every rank has entered it (dissemination barrier,
+// ceil(log2 P) rounds).
+func Barrier(c Comm) error {
+	p := c.Size()
+	r := c.Rank()
+	for k, round := 1, 0; k < p; k, round = k<<1, round+1 {
+		to := (r + k) % p
+		from := (r - k + p) % p
+		tag := tagBarrier + round*tagStride
+		if err := c.Send(to, tag, nil); err != nil {
+			return err
+		}
+		if _, _, err := c.Recv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Bcast distributes root's data to every rank (binomial tree) and returns
+// the payload (the root receives a copy of its own data).
+func Bcast(c Comm, root int, data []complex128) ([]complex128, error) {
+	p := c.Size()
+	r := c.Rank()
+	// Rotate so the root is virtual rank 0.
+	vr := (r - root + p) % p
+	if vr == 0 {
+		data = append([]complex128(nil), data...)
+	} else {
+		data = nil
+	}
+	mask := 1
+	if vr != 0 {
+		// Highest power of two <= vr: vr receives from vr minus that bit.
+		for mask<<1 <= vr {
+			mask <<= 1
+		}
+		from := ((vr - mask) + root) % p
+		d, _, err := c.Recv(from, tagBcast+log2i(mask)*tagStride)
+		if err != nil {
+			return nil, err
+		}
+		data = d
+		mask <<= 1
+	}
+	for ; mask < p; mask <<= 1 {
+		if vr+mask < p {
+			to := (vr + mask + root) % p
+			if err := c.Send(to, tagBcast+log2i(mask)*tagStride, data); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return data, nil
+}
+
+// Gather collects every rank's data at root: the root receives out[i] from
+// rank i (out[root] is a copy of its own data); other ranks get nil.
+func Gather(c Comm, root int, data []complex128) ([][]complex128, error) {
+	p := c.Size()
+	if c.Rank() != root {
+		return nil, c.Send(root, tagGather, data)
+	}
+	out := make([][]complex128, p)
+	out[root] = append([]complex128(nil), data...)
+	for i := 0; i < p-1; i++ {
+		d, src, err := c.Recv(AnySource, tagGather)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = d
+	}
+	return out, nil
+}
+
+func log2i(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

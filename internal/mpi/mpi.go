@@ -1,0 +1,209 @@
+// Package mpi provides the message-passing layer the distributed FFTs are
+// written against: an MPI-like communicator with point-to-point send/recv
+// and the collectives the paper's algorithms need (all-to-all, barrier,
+// broadcast, gather). Payloads are vectors of complex128 — the only data
+// type 1D FFT traffic carries.
+//
+// Two real transports implement the Comm interface: an in-process transport
+// (one goroutine per rank, used by the cmd tools, examples and the cluster
+// simulator) and a TCP transport (full mesh over net.Conn, demonstrating
+// that the algorithm layer runs unchanged over a real wire). The simulated
+// cluster in internal/cluster wraps a Comm with virtual-time cost
+// accounting.
+//
+// Semantics follow MPI's blocking mode: Send may buffer (the payload is
+// copied, the caller may reuse its slice immediately); Recv blocks until a
+// matching (source, tag) message arrives. Messages between a given pair
+// with the same tag are non-overtaking.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// AnySource matches a message from any rank in Recv.
+const AnySource = -1
+
+// Reserved tag space for the generic collectives; user tags must be below
+// this and non-negative.
+const collectiveTagBase = 1 << 28
+
+// ErrClosed is returned when the world has been shut down.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// Comm is one rank's endpoint.
+type Comm interface {
+	// Rank returns this process's rank in [0, Size()).
+	Rank() int
+	// Size returns the number of ranks.
+	Size() int
+	// Send delivers data to rank dst with the given tag. The data is
+	// copied; the caller may reuse the slice immediately.
+	Send(dst, tag int, data []complex128) error
+	// Recv blocks until a message with the given tag from src (or
+	// AnySource) arrives and returns its payload and actual source.
+	Recv(src, tag int) ([]complex128, int, error)
+	// Close releases the endpoint. Pending Recv calls fail with ErrClosed.
+	Close() error
+}
+
+// SendRecv performs a simultaneous exchange: send to dst and receive from
+// src with the same tag, without deadlocking (the send is buffered).
+func SendRecv(c Comm, dst int, sendData []complex128, src, tag int) ([]complex128, error) {
+	if err := c.Send(dst, tag, sendData); err != nil {
+		return nil, err
+	}
+	data, _, err := c.Recv(src, tag)
+	return data, err
+}
+
+// message is an in-flight payload.
+type message struct {
+	src, tag int
+	data     []complex128
+}
+
+// mailbox is an unordered-match message store with blocking receive.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) error {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	if mb.closed {
+		return ErrClosed
+	}
+	mb.msgs = append(mb.msgs, m)
+	mb.cond.Broadcast()
+	return nil
+}
+
+func (mb *mailbox) get(src, tag int) ([]complex128, int, error) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i := range mb.msgs {
+			m := mb.msgs[i]
+			if m.tag == tag && (src == AnySource || m.src == src) {
+				mb.msgs = append(mb.msgs[:i], mb.msgs[i+1:]...)
+				return m.data, m.src, nil
+			}
+		}
+		if mb.closed {
+			return nil, 0, ErrClosed
+		}
+		mb.cond.Wait()
+	}
+}
+
+func (mb *mailbox) close() {
+	mb.mu.Lock()
+	mb.closed = true
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// World is an in-process communicator group: size ranks sharing one address
+// space, each typically driven by its own goroutine.
+type World struct {
+	size  int
+	boxes []*mailbox
+}
+
+// NewWorld creates an in-process world with the given number of ranks.
+func NewWorld(size int) (*World, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("mpi: invalid world size %d", size)
+	}
+	w := &World{size: size, boxes: make([]*mailbox, size)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w, nil
+}
+
+// Comm returns rank r's endpoint.
+func (w *World) Comm(r int) Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, w.size))
+	}
+	return &inprocComm{world: w, rank: r}
+}
+
+// Close shuts down every rank's mailbox.
+func (w *World) Close() {
+	for _, mb := range w.boxes {
+		mb.close()
+	}
+}
+
+type inprocComm struct {
+	world *World
+	rank  int
+}
+
+func (c *inprocComm) Rank() int { return c.rank }
+func (c *inprocComm) Size() int { return c.world.size }
+
+func (c *inprocComm) Send(dst, tag int, data []complex128) error {
+	if dst < 0 || dst >= c.world.size {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	cp := make([]complex128, len(data))
+	copy(cp, data)
+	return c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: cp})
+}
+
+func (c *inprocComm) Recv(src, tag int) ([]complex128, int, error) {
+	if src != AnySource && (src < 0 || src >= c.world.size) {
+		return nil, 0, fmt.Errorf("mpi: recv from invalid rank %d", src)
+	}
+	return c.world.boxes[c.rank].get(src, tag)
+}
+
+func (c *inprocComm) Close() error {
+	c.world.boxes[c.rank].close()
+	return nil
+}
+
+// Run drives fn as an SPMD program over a fresh in-process world: one
+// goroutine per rank. It returns the first non-nil error.
+func Run(size int, fn func(Comm) error) error {
+	w, err := NewWorld(size)
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	errs := make(chan error, size)
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			errs <- fn(w.Comm(r))
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,440 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"soifft/internal/ref"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			return c.Send(1, 7, []complex128{1 + 2i, 3})
+		}
+		data, src, err := c.Recv(0, 7)
+		if err != nil {
+			return err
+		}
+		if src != 0 || len(data) != 2 || data[0] != 1+2i || data[1] != 3 {
+			return fmt.Errorf("bad message: src=%d data=%v", src, data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	c0, c1 := w.Comm(0), w.Comm(1)
+	buf := []complex128{1, 2, 3}
+	if err := c0.Send(1, 0, buf); err != nil {
+		t.Fatal(err)
+	}
+	buf[0] = -99 // mutate after send: receiver must still see the original
+	data, _, err := c1.Recv(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] != 1 {
+		t.Fatalf("send did not copy: got %v", data[0])
+	}
+}
+
+func TestRecvMatchesTagAndSource(t *testing.T) {
+	w, _ := NewWorld(3)
+	defer w.Close()
+	c2 := w.Comm(2)
+	// Deliver out of order: tag 5 after tag 9, from different sources.
+	if err := w.Comm(0).Send(2, 9, []complex128{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Comm(1).Send(2, 5, []complex128{5}); err != nil {
+		t.Fatal(err)
+	}
+	data, src, err := c2.Recv(1, 5)
+	if err != nil || src != 1 || data[0] != 5 {
+		t.Fatalf("tag-5 recv: %v src=%d data=%v", err, src, data)
+	}
+	data, src, err = c2.Recv(AnySource, 9)
+	if err != nil || src != 0 || data[0] != 9 {
+		t.Fatalf("tag-9 recv: %v src=%d data=%v", err, src, data)
+	}
+}
+
+func TestRecvBlocksUntilSend(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	done := make(chan []complex128)
+	go func() {
+		data, _, _ := w.Comm(1).Recv(0, 3)
+		done <- data
+	}()
+	if err := w.Comm(0).Send(1, 3, []complex128{42}); err != nil {
+		t.Fatal(err)
+	}
+	if data := <-done; data[0] != 42 {
+		t.Fatalf("got %v", data)
+	}
+}
+
+func TestClosedWorldErrors(t *testing.T) {
+	w, _ := NewWorld(2)
+	w.Close()
+	if err := w.Comm(0).Send(1, 0, nil); err != ErrClosed {
+		t.Fatalf("send after close: %v", err)
+	}
+	if _, _, err := w.Comm(1).Recv(0, 0); err != ErrClosed {
+		t.Fatalf("recv after close: %v", err)
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	c := w.Comm(0)
+	if err := c.Send(5, 0, nil); err == nil {
+		t.Error("send to rank 5 should fail")
+	}
+	if err := c.Send(1, -3, nil); err == nil {
+		t.Error("negative tag should fail")
+	}
+	if _, _, err := c.Recv(9, 0); err == nil {
+		t.Error("recv from rank 9 should fail")
+	}
+	if _, err := NewWorld(0); err == nil {
+		t.Error("world of size 0 should fail")
+	}
+}
+
+func testAllToAll(t *testing.T, size int) {
+	t.Helper()
+	err := Run(size, func(c Comm) error {
+		r := c.Rank()
+		send := make([][]complex128, size)
+		for i := range send {
+			// Unique payload per (sender, receiver) pair; varying lengths.
+			send[i] = make([]complex128, 1+(r+i)%3)
+			for k := range send[i] {
+				send[i][k] = complex(float64(r*100+i), float64(k))
+			}
+		}
+		recv, err := AllToAll(c, send)
+		if err != nil {
+			return err
+		}
+		for i := range recv {
+			want := 1 + (i+r)%3
+			if len(recv[i]) != want {
+				return fmt.Errorf("rank %d from %d: %d elems, want %d", r, i, len(recv[i]), want)
+			}
+			if recv[i][0] != complex(float64(i*100+r), 0) {
+				return fmt.Errorf("rank %d from %d: payload %v", r, i, recv[i][0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 8, 16} {
+		testAllToAll(t, size)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	for _, size := range []int{2, 3, 8} {
+		var mu sync.Mutex
+		arrived := 0
+		err := Run(size, func(c Comm) error {
+			mu.Lock()
+			arrived++
+			mu.Unlock()
+			if err := Barrier(c); err != nil {
+				return err
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if arrived != size {
+				return fmt.Errorf("rank %d passed barrier with %d/%d arrived", c.Rank(), arrived, size)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBcast(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < size; root += 2 {
+			payload := []complex128{3 + 4i, 5, 6i}
+			err := Run(size, func(c Comm) error {
+				var in []complex128
+				if c.Rank() == root {
+					in = payload
+				}
+				out, err := Bcast(c, root, in)
+				if err != nil {
+					return err
+				}
+				if len(out) != 3 || out[0] != 3+4i || out[2] != 6i {
+					return fmt.Errorf("rank %d got %v", c.Rank(), out)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size=%d root=%d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const size, root = 5, 2
+	err := Run(size, func(c Comm) error {
+		out, err := Gather(c, root, []complex128{complex(float64(c.Rank()), 0)})
+		if err != nil {
+			return err
+		}
+		if c.Rank() != root {
+			if out != nil {
+				return fmt.Errorf("non-root got data")
+			}
+			return nil
+		}
+		for i, d := range out {
+			if len(d) != 1 || d[0] != complex(float64(i), 0) {
+				return fmt.Errorf("root got %v from %d", d, i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// tcpWorld spins up a full TCP mesh on loopback and runs fn per rank.
+func tcpWorld(t *testing.T, size int, fn func(Comm) error) {
+	t.Helper()
+	listeners := make([]net.Listener, size)
+	addrs := make([]string, size)
+	for i := range listeners {
+		ln, err := ListenTCP("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, size)
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			node, err := ConnectTCP(r, size, listeners[r], addrs)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer node.Close()
+			errs <- fn(node)
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	tcpWorld(t, 3, func(c Comm) error {
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		payload := ref.RandomVector(100, int64(c.Rank()))
+		if err := c.Send(next, 1, payload); err != nil {
+			return err
+		}
+		got, src, err := c.Recv(prev, 1)
+		if err != nil {
+			return err
+		}
+		want := ref.RandomVector(100, int64(prev))
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("rank %d: wire corruption at %d (src %d)", c.Rank(), i, src)
+			}
+		}
+		return nil
+	})
+}
+
+func TestTCPSelfSend(t *testing.T) {
+	tcpWorld(t, 2, func(c Comm) error {
+		if err := c.Send(c.Rank(), 4, []complex128{7i}); err != nil {
+			return err
+		}
+		d, _, err := c.Recv(c.Rank(), 4)
+		if err != nil || d[0] != 7i {
+			return fmt.Errorf("self-send: %v %v", d, err)
+		}
+		return nil
+	})
+}
+
+func TestTCPCollectives(t *testing.T) {
+	tcpWorld(t, 4, func(c Comm) error {
+		send := make([][]complex128, 4)
+		for i := range send {
+			send[i] = []complex128{complex(float64(c.Rank()*10+i), 0)}
+		}
+		recv, err := AllToAll(c, send)
+		if err != nil {
+			return err
+		}
+		for i := range recv {
+			if recv[i][0] != complex(float64(i*10+c.Rank()), 0) {
+				return fmt.Errorf("alltoall mismatch")
+			}
+		}
+		if err := Barrier(c); err != nil {
+			return err
+		}
+		out, err := Bcast(c, 1, []complex128{11})
+		if err != nil || out[0] != 11 {
+			return fmt.Errorf("bcast: %v %v", out, err)
+		}
+		return nil
+	})
+}
+
+func TestReduceAndAllReduce(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < size; root += 3 {
+			err := Run(size, func(c Comm) error {
+				data := []complex128{complex(float64(c.Rank()), 1), 10}
+				out, err := Reduce(c, root, data)
+				if err != nil {
+					return err
+				}
+				wantSum := complex(float64(size*(size-1)/2), float64(size))
+				if c.Rank() == root {
+					if len(out) != 2 || out[0] != wantSum || out[1] != complex(10*float64(size), 0) {
+						return fmt.Errorf("root got %v", out)
+					}
+				} else if out != nil {
+					return fmt.Errorf("non-root got %v", out)
+				}
+				all, err := AllReduce(c, data)
+				if err != nil {
+					return err
+				}
+				if all[0] != wantSum {
+					return fmt.Errorf("rank %d allreduce got %v", c.Rank(), all)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("size=%d root=%d: %v", size, root, err)
+			}
+		}
+	}
+}
+
+func TestScatter(t *testing.T) {
+	const size, root = 4, 1
+	err := Run(size, func(c Comm) error {
+		var blocks [][]complex128
+		if c.Rank() == root {
+			for i := 0; i < size; i++ {
+				blocks = append(blocks, []complex128{complex(float64(i*i), 0)})
+			}
+		}
+		mine, err := Scatter(c, root, blocks)
+		if err != nil {
+			return err
+		}
+		if len(mine) != 1 || mine[0] != complex(float64(c.Rank()*c.Rank()), 0) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), mine)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidation(t *testing.T) {
+	err := Run(2, func(c Comm) error {
+		if c.Rank() == 0 {
+			if _, err := Scatter(c, 0, [][]complex128{{1}}); err == nil {
+				return fmt.Errorf("short blocks accepted")
+			}
+			// Unblock rank 1 which is waiting for its block.
+			return c.Send(1, tagScatter, []complex128{2})
+		}
+		d, err := Scatter(c, 0, nil)
+		if err != nil || d[0] != 2 {
+			return fmt.Errorf("rank 1: %v %v", d, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCloseUnblocksRecv(t *testing.T) {
+	ln0, _ := ListenTCP("127.0.0.1:0")
+	ln1, _ := ListenTCP("127.0.0.1:0")
+	addrs := []string{ln0.Addr().String(), ln1.Addr().String()}
+	var wg sync.WaitGroup
+	nodes := make([]*TCPNode, 2)
+	wg.Add(2)
+	for r := 0; r < 2; r++ {
+		go func(r int) {
+			defer wg.Done()
+			ln := []net.Listener{ln0, ln1}[r]
+			n, err := ConnectTCP(r, 2, ln, addrs)
+			if err == nil {
+				nodes[r] = n
+			}
+		}(r)
+	}
+	wg.Wait()
+	if nodes[0] == nil || nodes[1] == nil {
+		t.Fatal("mesh failed")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := nodes[1].Recv(0, 9)
+		done <- err
+	}()
+	nodes[1].Close()
+	if err := <-done; err != ErrClosed {
+		t.Fatalf("recv after close: %v", err)
+	}
+	nodes[0].Close()
+}
+
+func TestTCPRejectsBadRank(t *testing.T) {
+	ln, _ := ListenTCP("127.0.0.1:0")
+	if _, err := ConnectTCP(-1, 2, ln, nil); err == nil {
+		t.Error("negative rank accepted")
+	}
+	ln.Close()
+}

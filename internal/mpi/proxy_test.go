@@ -1,0 +1,176 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"soifft/internal/ref"
+)
+
+// proxyWorld runs fn over an in-process world with every rank behind a
+// Section 5.1 host proxy.
+func proxyWorld(t *testing.T, size, chunkElems int, fn func(*Proxy) error) {
+	t.Helper()
+	w, err := NewWorld(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	var wg sync.WaitGroup
+	errs := make(chan error, size)
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(r int) {
+			defer wg.Done()
+			p, err := NewProxy(w.Comm(r), chunkElems, 6e9, 3e9)
+			if err != nil {
+				errs <- err
+				return
+			}
+			errs <- fn(p)
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestProxySendRecvChunked(t *testing.T) {
+	for _, chunk := range []int{1, 7, 64, 1000} {
+		proxyWorld(t, 2, chunk, func(p *Proxy) error {
+			if p.Rank() == 0 {
+				return p.Send(1, 5, ref.RandomVector(333, 1))
+			}
+			got, from, err := p.Recv(0, 5)
+			if err != nil {
+				return err
+			}
+			want := ref.RandomVector(333, 1)
+			if from != 0 || len(got) != 333 {
+				return fmt.Errorf("from=%d len=%d", from, len(got))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					return fmt.Errorf("chunk=%d: corrupted at %d", chunk, i)
+				}
+			}
+			return nil
+		})
+	}
+}
+
+func TestProxyZeroAndBackToBackMessages(t *testing.T) {
+	proxyWorld(t, 2, 4, func(p *Proxy) error {
+		if p.Rank() == 0 {
+			if err := p.Send(1, 3, nil); err != nil {
+				return err
+			}
+			if err := p.Send(1, 3, []complex128{1, 2, 3, 4, 5, 6, 7, 8, 9}); err != nil {
+				return err
+			}
+			return p.Send(1, 3, []complex128{42})
+		}
+		a, _, err := p.Recv(0, 3)
+		if err != nil || len(a) != 0 {
+			return fmt.Errorf("first: %v %v", a, err)
+		}
+		b, _, err := p.Recv(0, 3)
+		if err != nil || len(b) != 9 || b[8] != 9 {
+			return fmt.Errorf("second: %v %v", b, err)
+		}
+		c, _, err := p.Recv(0, 3)
+		if err != nil || len(c) != 1 || c[0] != 42 {
+			return fmt.Errorf("third: %v %v", c, err)
+		}
+		return nil
+	})
+}
+
+func TestProxyCollectives(t *testing.T) {
+	// The generic collectives must run unchanged over proxied endpoints,
+	// including multi-chunk blocks.
+	proxyWorld(t, 4, 16, func(p *Proxy) error {
+		send := make([][]complex128, 4)
+		for i := range send {
+			send[i] = ref.RandomVector(50, int64(p.Rank()*10+i))
+		}
+		recv, err := AllToAll(p, send)
+		if err != nil {
+			return err
+		}
+		for i := range recv {
+			want := ref.RandomVector(50, int64(i*10+p.Rank()))
+			for k := range want {
+				if recv[i][k] != want[k] {
+					return fmt.Errorf("alltoall corrupted")
+				}
+			}
+		}
+		if err := Barrier(p); err != nil {
+			return err
+		}
+		out, err := Bcast(p, 2, ref.RandomVector(40, 7))
+		if err != nil || len(out) != 40 {
+			return fmt.Errorf("bcast: %v", err)
+		}
+		return nil
+	})
+}
+
+func TestProxyLedgerPipelining(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer w.Close()
+	send := func(chunkElems int) ProxyLedger {
+		p, err := NewProxy(w.Comm(0), chunkElems, 6e9, 3e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			q, _ := NewProxy(w.Comm(1), chunkElems, 6e9, 3e9)
+			q.Recv(0, 1)
+			close(done)
+		}()
+		if err := p.Send(1, 1, make([]complex128, 1<<20)); err != nil {
+			t.Fatal(err)
+		}
+		<-done
+		return p.Ledger()
+	}
+	serial := send(1 << 20) // one chunk: no overlap possible
+	if serial.Chunks != 1 || serial.PipelinedSec != serial.SerialSec {
+		t.Errorf("single chunk should not overlap: %+v", serial)
+	}
+	piped := send(1 << 16) // 16 chunks
+	if piped.Chunks != 16 {
+		t.Errorf("chunks = %d", piped.Chunks)
+	}
+	if piped.PipelinedSec >= serial.PipelinedSec {
+		t.Errorf("chunking did not help: %v vs %v", piped.PipelinedSec, serial.PipelinedSec)
+	}
+	// With tf = 2*tp (3 vs 6 GB/s), perfect overlap approaches the fabric
+	// time alone: savings -> tp/(tp+tf) = 1/3.
+	if s := piped.OverlapSavings(); s < 0.25 || s > 0.34 {
+		t.Errorf("overlap savings %.3f, want ~1/3", s)
+	}
+	if piped.BytesRelayed != 16*float64(1<<20) {
+		t.Errorf("bytes = %g", piped.BytesRelayed)
+	}
+}
+
+func TestProxyChunkLimit(t *testing.T) {
+	w, _ := NewWorld(1)
+	defer w.Close()
+	p, _ := NewProxy(w.Comm(0), 1, 6e9, 3e9)
+	if err := p.Send(0, 0, make([]complex128, proxyTagSpan)); err == nil {
+		t.Error("oversized chunk count accepted")
+	}
+	if _, err := NewProxy(w.Comm(0), 0, 6e9, 3e9); err == nil {
+		t.Error("chunk size 0 accepted")
+	}
+}

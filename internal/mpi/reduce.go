@@ -1,0 +1,88 @@
+package mpi
+
+import "fmt"
+
+// Additional collectives: elementwise-sum reductions and scatter. The
+// distributed verification path uses them to compute global error norms
+// without gathering whole vectors.
+
+const (
+	tagReduce  = collectiveTagBase + 16*tagStride
+	tagScatter = collectiveTagBase + 17*tagStride
+)
+
+// Reduce computes the elementwise complex sum of every rank's data at root.
+// All ranks must pass equal-length slices. Non-root ranks receive nil.
+// The schedule is a binomial tree (log2 P rounds).
+func Reduce(c Comm, root int, data []complex128) ([]complex128, error) {
+	p := c.Size()
+	r := c.Rank()
+	vr := (r - root + p) % p
+	acc := append([]complex128(nil), data...)
+	// Binomial combine: in round k (mask), virtual ranks with the bit set
+	// send to vr-mask and finish; others receive and accumulate.
+	for mask := 1; mask < p; mask <<= 1 {
+		if vr&mask != 0 {
+			to := ((vr - mask) + root) % p
+			return nil, firstErr(c.Send(to, tagReduce+log2i(mask), acc), nil)
+		}
+		if vr+mask < p {
+			from := ((vr + mask) + root) % p
+			d, _, err := c.Recv(from, tagReduce+log2i(mask))
+			if err != nil {
+				return nil, err
+			}
+			if len(d) != len(acc) {
+				return nil, fmt.Errorf("mpi: Reduce length mismatch: %d vs %d", len(d), len(acc))
+			}
+			for i, v := range d {
+				acc[i] += v
+			}
+		}
+	}
+	if vr == 0 {
+		return acc, nil
+	}
+	return nil, nil
+}
+
+// AllReduce computes the elementwise complex sum at every rank
+// (Reduce to rank 0 + Bcast).
+func AllReduce(c Comm, data []complex128) ([]complex128, error) {
+	acc, err := Reduce(c, 0, data)
+	if err != nil {
+		return nil, err
+	}
+	return Bcast(c, 0, acc)
+}
+
+// Scatter distributes blocks[i] from root to rank i; every rank returns its
+// own block. Only the root's blocks argument is consulted.
+func Scatter(c Comm, root int, blocks [][]complex128) ([]complex128, error) {
+	p := c.Size()
+	if c.Rank() == root {
+		if len(blocks) != p {
+			return nil, fmt.Errorf("mpi: Scatter needs %d blocks, got %d", p, len(blocks))
+		}
+		for i := 0; i < p; i++ {
+			if i == root {
+				continue
+			}
+			if err := c.Send(i, tagScatter, blocks[i]); err != nil {
+				return nil, err
+			}
+		}
+		return append([]complex128(nil), blocks[root]...), nil
+	}
+	d, _, err := c.Recv(root, tagScatter)
+	return d, err
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

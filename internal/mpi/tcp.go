@@ -1,0 +1,178 @@
+package mpi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sync"
+)
+
+// TCP transport: a full mesh of stream connections, one per rank pair. Rank
+// i listens; ranks j > i dial i and identify themselves with a hello frame.
+// A reader goroutine per connection feeds the same mailbox the in-process
+// transport uses, so matching semantics are identical. The wire format per
+// message is:
+//
+//	uint32 src | uint32 tag | uint32 count | count * (float64 re, float64 im)
+//
+// all big-endian. This is the "symmetric mode" stand-in: every rank is a
+// peer on the interconnect, as the paper's Xeon Phi ranks are on InfiniBand
+// through the host proxy.
+
+// TCPNode is a rank endpoint over real TCP connections.
+type TCPNode struct {
+	rank, size int
+	box        *mailbox
+	conns      []net.Conn // conns[i] connects to rank i (nil for self)
+	writeMu    []sync.Mutex
+	listener   net.Listener
+	closeOnce  sync.Once
+}
+
+var _ Comm = (*TCPNode)(nil)
+
+// ListenTCP opens rank's listener on addr (use "127.0.0.1:0" to pick a free
+// port) and returns it; its address must be distributed to the other ranks
+// out of band (in tests, via a slice).
+func ListenTCP(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+// ConnectTCP completes the mesh for the given rank: it accepts connections
+// from lower... higher ranks on ln and dials every lower rank at addrs[i].
+// addrs[i] must hold rank i's listener address for i < rank. The returned
+// node is ready for Send/Recv once every rank has connected.
+func ConnectTCP(rank, size int, ln net.Listener, addrs []string) (*TCPNode, error) {
+	if rank < 0 || rank >= size {
+		return nil, fmt.Errorf("mpi: rank %d out of range", rank)
+	}
+	n := &TCPNode{
+		rank:     rank,
+		size:     size,
+		box:      newMailbox(),
+		conns:    make([]net.Conn, size),
+		writeMu:  make([]sync.Mutex, size),
+		listener: ln,
+	}
+	// Dial every lower rank, identifying ourselves.
+	for peer := 0; peer < rank; peer++ {
+		conn, err := net.Dial("tcp", addrs[peer])
+		if err != nil {
+			n.Close()
+			return nil, fmt.Errorf("mpi: rank %d dialing rank %d: %w", rank, peer, err)
+		}
+		var hello [4]byte
+		binary.BigEndian.PutUint32(hello[:], uint32(rank))
+		if _, err := conn.Write(hello[:]); err != nil {
+			n.Close()
+			return nil, err
+		}
+		n.conns[peer] = conn
+	}
+	// Accept one connection from every higher rank.
+	for accepted := 0; accepted < size-1-rank; accepted++ {
+		conn, err := ln.Accept()
+		if err != nil {
+			n.Close()
+			return nil, err
+		}
+		var hello [4]byte
+		if _, err := io.ReadFull(conn, hello[:]); err != nil {
+			n.Close()
+			return nil, err
+		}
+		peer := int(binary.BigEndian.Uint32(hello[:]))
+		if peer <= rank || peer >= size || n.conns[peer] != nil {
+			conn.Close()
+			n.Close()
+			return nil, fmt.Errorf("mpi: rank %d got invalid hello from %d", rank, peer)
+		}
+		n.conns[peer] = conn
+	}
+	for peer, conn := range n.conns {
+		if conn != nil {
+			go n.readLoop(peer, conn)
+		}
+	}
+	return n, nil
+}
+
+func (n *TCPNode) readLoop(peer int, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var hdr [12]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // connection closed
+		}
+		src := int(binary.BigEndian.Uint32(hdr[0:4]))
+		tag := int(binary.BigEndian.Uint32(hdr[4:8]))
+		count := int(binary.BigEndian.Uint32(hdr[8:12]))
+		data := make([]complex128, count)
+		buf := make([]byte, 16*count)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return
+		}
+		for i := 0; i < count; i++ {
+			re := math.Float64frombits(binary.BigEndian.Uint64(buf[16*i:]))
+			im := math.Float64frombits(binary.BigEndian.Uint64(buf[16*i+8:]))
+			data[i] = complex(re, im)
+		}
+		_ = src // sender is authenticated by the connection; src is advisory
+		if err := n.box.put(message{src: peer, tag: tag, data: data}); err != nil {
+			return
+		}
+	}
+}
+
+func (n *TCPNode) Rank() int { return n.rank }
+func (n *TCPNode) Size() int { return n.size }
+
+func (n *TCPNode) Send(dst, tag int, data []complex128) error {
+	if dst == n.rank {
+		cp := make([]complex128, len(data))
+		copy(cp, data)
+		return n.box.put(message{src: n.rank, tag: tag, data: cp})
+	}
+	if dst < 0 || dst >= n.size || n.conns[dst] == nil {
+		return fmt.Errorf("mpi: send to invalid rank %d", dst)
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d", tag)
+	}
+	buf := make([]byte, 12+16*len(data))
+	binary.BigEndian.PutUint32(buf[0:4], uint32(n.rank))
+	binary.BigEndian.PutUint32(buf[4:8], uint32(tag))
+	binary.BigEndian.PutUint32(buf[8:12], uint32(len(data)))
+	for i, v := range data {
+		binary.BigEndian.PutUint64(buf[12+16*i:], math.Float64bits(real(v)))
+		binary.BigEndian.PutUint64(buf[12+16*i+8:], math.Float64bits(imag(v)))
+	}
+	mu := &n.writeMu[dst]
+	mu.Lock()
+	_, err := n.conns[dst].Write(buf)
+	mu.Unlock()
+	return err
+}
+
+func (n *TCPNode) Recv(src, tag int) ([]complex128, int, error) {
+	return n.box.get(src, tag)
+}
+
+// Close tears down the mesh and the listener.
+func (n *TCPNode) Close() error {
+	n.closeOnce.Do(func() {
+		n.box.close()
+		for _, c := range n.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+		if n.listener != nil {
+			n.listener.Close()
+		}
+	})
+	return nil
+}

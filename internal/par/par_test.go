@@ -1,0 +1,59 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 8, 100} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			var sum atomic.Int64
+			var calls atomic.Int64
+			For(workers, n, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("workers=%d n=%d: empty chunk [%d,%d)", workers, n, lo, hi)
+				}
+				calls.Add(1)
+				for i := lo; i < hi; i++ {
+					sum.Add(int64(i))
+				}
+			})
+			want := int64(n) * int64(n-1) / 2
+			if n == 0 {
+				want = 0
+			}
+			if sum.Load() != want {
+				t.Errorf("workers=%d n=%d: sum=%d want %d", workers, n, sum.Load(), want)
+			}
+		}
+	}
+}
+
+func TestForChunkedCoversRangeOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		for _, chunk := range []int{0, 1, 3, 16} {
+			const n = 137
+			seen := make([]atomic.Int32, n)
+			ForChunked(workers, n, chunk, func(lo, hi int) {
+				if chunk > 0 && hi-lo > chunk {
+					t.Errorf("chunk=%d: body got %d items", chunk, hi-lo)
+				}
+				for i := lo; i < hi; i++ {
+					seen[i].Add(1)
+				}
+			})
+			for i := range seen {
+				if seen[i].Load() != 1 {
+					t.Fatalf("workers=%d chunk=%d: index %d visited %d times", workers, chunk, i, seen[i].Load())
+				}
+			}
+		}
+	}
+}
+
+func TestDefaultWorkersPositive(t *testing.T) {
+	if DefaultWorkers() < 1 {
+		t.Fatalf("DefaultWorkers = %d", DefaultWorkers())
+	}
+}

@@ -1,0 +1,127 @@
+package perfmodel
+
+// Generators for the paper's model-driven figures. Each returns plain rows
+// so cmd/soibench and the benchmarks can print them uniformly.
+
+// PerNodeElems is the paper's weak-scaling working set: ~2^27 double
+// precision complex elements per node (Section 6, Fig. 8).
+const PerNodeElems = float64(1 << 27)
+
+// Fig3Row is one bar of Fig. 3: normalized execution time split by
+// component, at 32 nodes with N = 2^27 * 32.
+type Fig3Row struct {
+	Algorithm  Algorithm
+	Platform   Platform
+	LocalFFT   float64 // normalized to the Cooley-Tukey/Xeon total
+	Conv       float64
+	MPI        float64
+	Normalized float64 // total, normalized
+	Seconds    float64 // raw total
+}
+
+// Fig3 reproduces the estimated performance improvements of Fig. 3:
+// Cooley-Tukey and SOI on Xeon and Xeon Phi, 32 nodes, no overlap (the
+// Section 4 model assumes communication is not overlapped), normalized to
+// Cooley-Tukey on Xeon.
+func Fig3(c Config) []Fig3Row {
+	opt := Options{Nodes: 32, PerNode: PerNodeElems, Segments: 1, Overlap: false}
+	var rows []Fig3Row
+	base := 0.0
+	for _, alg := range []Algorithm{CooleyTukey, SOI} {
+		for _, p := range []Platform{Xeon, XeonPhi} {
+			e := c.Estimate(alg, p, opt)
+			// Fig. 3 plots only the three model components.
+			total := e.LocalFFT + e.Conv + e.MPI
+			if base == 0 {
+				base = total
+			}
+			rows = append(rows, Fig3Row{
+				Algorithm: alg, Platform: p,
+				LocalFFT:   e.LocalFFT / base,
+				Conv:       e.Conv / base,
+				MPI:        e.MPI / base,
+				Normalized: total / base,
+				Seconds:    total,
+			})
+		}
+	}
+	return rows
+}
+
+// Fig8Row is one node count of the weak-scaling study.
+type Fig8Row struct {
+	Nodes      int
+	CTXeon     float64 // TFLOPS
+	CTPhi      float64 // TFLOPS (projected, as in the paper)
+	SOIXeon    float64 // TFLOPS
+	SOIPhi     float64 // TFLOPS
+	SpeedupCT  float64 // CT Phi / CT Xeon
+	SpeedupSOI float64 // SOI Phi / SOI Xeon
+}
+
+// Fig8Nodes is the node-count sweep of Fig. 8 and Fig. 9.
+var Fig8Nodes = []int{4, 8, 16, 32, 64, 128, 256, 512}
+
+// Fig8 reproduces the weak-scaling FFT performance of Fig. 8 from the
+// model, including the overlap and segment policy of Section 6.1.
+func Fig8(c Config) []Fig8Row {
+	var rows []Fig8Row
+	for _, nodes := range Fig8Nodes {
+		opt := Options{Nodes: nodes, PerNode: PerNodeElems, Overlap: true}
+		n := PerNodeElems * float64(nodes)
+		ctX := c.Estimate(CooleyTukey, Xeon, opt).TFLOPS(n)
+		ctP := c.Estimate(CooleyTukey, XeonPhi, opt).TFLOPS(n)
+		soiX := c.Estimate(SOI, Xeon, opt).TFLOPS(n)
+		soiP := c.Estimate(SOI, XeonPhi, opt).TFLOPS(n)
+		rows = append(rows, Fig8Row{
+			Nodes: nodes, CTXeon: ctX, CTPhi: ctP, SOIXeon: soiX, SOIPhi: soiP,
+			SpeedupCT: ctP / ctX, SpeedupSOI: soiP / soiX,
+		})
+	}
+	return rows
+}
+
+// Fig9Row is one bar of the execution-time breakdown of Fig. 9.
+type Fig9Row struct {
+	Platform Platform
+	Nodes    int
+	Estimate Estimate
+}
+
+// Fig9 reproduces the SOI execution-time breakdowns of Fig. 9 for both
+// platforms across the node sweep.
+func Fig9(c Config) []Fig9Row {
+	var rows []Fig9Row
+	for _, p := range []Platform{Xeon, XeonPhi} {
+		for _, nodes := range Fig8Nodes {
+			opt := Options{Nodes: nodes, PerNode: PerNodeElems, Overlap: true}
+			rows = append(rows, Fig9Row{Platform: p, Nodes: nodes, Estimate: c.Estimate(SOI, p, opt)})
+		}
+	}
+	return rows
+}
+
+// Fig12Row compares symmetric and offload coprocessor modes (Section 7).
+type Fig12Row struct {
+	Mode    string
+	Est     Estimate
+	Slower  float64 // relative to symmetric
+	Seconds float64
+}
+
+// Fig12 reproduces the Section 7 analysis: offload mode is ~25% slower
+// than symmetric mode because both PCIe crossings are exposed.
+func Fig12(c Config, nodes int) []Fig12Row {
+	opt := Options{Nodes: nodes, PerNode: PerNodeElems, Segments: 1, Overlap: false}
+	sym := c.Estimate(SOI, XeonPhi, opt)
+	offOpt := opt
+	offOpt.Offload = true
+	off := c.Estimate(SOI, XeonPhi, offOpt)
+	// The Section 7 comparison is about the three modeled components.
+	symT := sym.LocalFFT + sym.Conv + sym.MPI
+	offT := off.Etc + off.MPI
+	return []Fig12Row{
+		{Mode: "symmetric", Est: sym, Slower: 1, Seconds: symT},
+		{Mode: "offload", Est: off, Slower: offT / symT, Seconds: offT},
+	}
+}

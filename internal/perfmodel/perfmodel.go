@@ -1,0 +1,220 @@
+// Package perfmodel implements the analytic performance model of Section 4
+// of the paper (extended with the communication/computation overlap of
+// Section 6.1 and the offload-mode model of Section 7). The model projects
+// execution times of the SOI and Cooley-Tukey distributed FFTs on clusters
+// of Xeon and Xeon Phi nodes from first principles:
+//
+//	T_fft(N)  = 5 N log2 N / (Eff_fft  * Flops_peak)
+//	T_conv(N) = 8 B mu N   / (Eff_conv * Flops_peak)
+//	T_mpi(N)  = 16 N / bw_mpi
+//
+//	T_soi ~ T_fft(mu N) + T_conv(N) + mu T_mpi(N)
+//	T_ct  ~ T_fft(N) + 3 T_mpi(N)
+//	T_soi_offload ~ 2 T_pci(N) + mu T_mpi(N)
+//
+// Golden tests pin the concrete Section 4 instantiation (32 nodes,
+// N = 2^27 * 32: T_fft = 0.50 s, T_phi_fft = 0.16, T_conv = 0.64,
+// T_phi_conv = 0.21, T_mpi = 0.67) and the Fig. 3 speedups (~1.7x for SOI
+// on Xeon Phi vs Xeon, only ~1.14x for Cooley-Tukey).
+package perfmodel
+
+import (
+	"math"
+
+	"soifft/internal/machine"
+)
+
+// Algorithm selects the distributed FFT factorization.
+type Algorithm int
+
+const (
+	CooleyTukey Algorithm = iota
+	SOI
+)
+
+func (a Algorithm) String() string {
+	if a == CooleyTukey {
+		return "Cooley-Tukey"
+	}
+	return "SOI"
+}
+
+// Platform selects the node type.
+type Platform int
+
+const (
+	Xeon Platform = iota
+	XeonPhi
+)
+
+func (p Platform) String() string {
+	if p == Xeon {
+		return "Xeon"
+	}
+	return "Xeon Phi"
+}
+
+// Config carries the model parameters (Table 2 + Table 3 + Section 4).
+type Config struct {
+	Xeon   machine.Node
+	Phi    machine.Node
+	Fabric machine.Fabric
+	PCIe   machine.PCIe
+
+	EffFFT  float64 // compute efficiency of node-local FFT (paper: 12%)
+	EffConv float64 // compute efficiency of convolution (paper: 40%)
+
+	B        int // convolution width (72)
+	NMu, DMu int // oversampling factor (8/7, matching Table 3)
+
+	// EtcSweepsXeon/Phi model the "etc." component of Fig. 9: full memory
+	// sweeps over the oversampled data for packing plus, on Xeon, the
+	// unfused demodulation pass of the out-of-the-box library path.
+	EtcSweepsXeon float64
+	EtcSweepsPhi  float64
+}
+
+// Default returns the paper-calibrated configuration.
+func Default() Config {
+	return Config{
+		Xeon:          machine.XeonE5(),
+		Phi:           machine.XeonPhi(),
+		Fabric:        machine.StampedeFDR(),
+		PCIe:          machine.StampedePCIe(),
+		EffFFT:        0.12,
+		EffConv:       0.40,
+		B:             72,
+		NMu:           8,
+		DMu:           7,
+		EtcSweepsXeon: 5, // 3 (separate demodulation) + 2 (packing)
+		EtcSweepsPhi:  2, // packing only; demodulation is fused
+	}
+}
+
+// Mu returns the oversampling factor.
+func (c Config) Mu() float64 { return float64(c.NMu) / float64(c.DMu) }
+
+func (c Config) node(p Platform) machine.Node {
+	if p == Xeon {
+		return c.Xeon
+	}
+	return c.Phi
+}
+
+// TFFT returns the Section 4 node-local FFT time for nTotal elements spread
+// over the given nodes of platform p.
+func (c Config) TFFT(p Platform, nTotal float64, nodes int) float64 {
+	flops := 5 * nTotal * math.Log2(nTotal)
+	return flops / (c.EffFFT * c.node(p).PeakGFlops * 1e9 * float64(nodes))
+}
+
+// TConv returns the Section 4 convolution time (8*B*mu*N flops).
+func (c Config) TConv(p Platform, nTotal float64, nodes int) float64 {
+	flops := 8 * float64(c.B) * c.Mu() * nTotal
+	return flops / (c.EffConv * c.node(p).PeakGFlops * 1e9 * float64(nodes))
+}
+
+// TMPI returns the all-to-all exchange time of nTotal complex elements
+// (16 bytes each) at the given scale, including fabric congestion.
+func (c Config) TMPI(nTotal float64, nodes int) float64 {
+	if nodes <= 1 {
+		return 0
+	}
+	perNode := 16 * nTotal / float64(nodes)
+	return c.Fabric.AllToAllTime(nodes, perNode, 0)
+}
+
+// TPCI returns the PCIe transfer time for nTotal elements split over nodes
+// (Section 7, offload mode).
+func (c Config) TPCI(nTotal float64, nodes int) float64 {
+	return c.PCIe.TransferTime(16 * nTotal / float64(nodes))
+}
+
+// SegmentsFor returns the paper's segments-per-process choice (Section 6.1:
+// 8 segments for <= 128 nodes, 2 for larger runs, trading overlap for
+// longer packets).
+func SegmentsFor(nodes int) int {
+	if nodes <= 128 {
+		return 8
+	}
+	return 2
+}
+
+// Estimate is a modeled execution-time breakdown (seconds). MPI is the raw
+// exchange time; ExposedMPI is what remains after overlap; Total uses the
+// exposed value.
+type Estimate struct {
+	LocalFFT   float64
+	Conv       float64
+	MPI        float64
+	ExposedMPI float64
+	Etc        float64
+	Total      float64
+}
+
+// Options control an estimate.
+type Options struct {
+	Nodes    int
+	PerNode  float64 // input elements per node (weak scaling: 2^27)
+	Segments int     // segments per process (0 = SegmentsFor(Nodes)); 1 disables overlap
+	Overlap  bool    // overlap per-segment all-to-alls with local FFTs
+	Offload  bool    // Section 7 offload mode (Xeon Phi only)
+}
+
+// Estimate projects the execution time of one transform.
+func (c Config) Estimate(alg Algorithm, p Platform, opt Options) Estimate {
+	nTotal := opt.PerNode * float64(opt.Nodes)
+	mu := c.Mu()
+	var e Estimate
+	switch alg {
+	case CooleyTukey:
+		e.LocalFFT = c.TFFT(p, nTotal, opt.Nodes)
+		e.MPI = 3 * c.Fabric.AllToAllTime(opt.Nodes, 16*opt.PerNode, opt.Nodes-1)
+		e.ExposedMPI = e.MPI // the baseline does not overlap
+		e.Total = e.LocalFFT + e.ExposedMPI
+	case SOI:
+		segs := opt.Segments
+		if segs == 0 {
+			segs = SegmentsFor(opt.Nodes)
+		}
+		if opt.Offload {
+			// Offload mode: local compute is hidden behind the two PCIe
+			// crossings (input down, output up), which dominate
+			// (Section 7, Fig. 12b).
+			e.Etc = 2 * c.TPCI(nTotal, opt.Nodes)
+			e.MPI = float64(segs) * c.Fabric.AllToAllTime(opt.Nodes, 16*mu*opt.PerNode/float64(segs), opt.Nodes-1)
+			e.ExposedMPI = e.MPI
+			e.Total = e.Etc + e.ExposedMPI
+			return e
+		}
+		e.LocalFFT = c.TFFT(p, mu*nTotal, opt.Nodes)
+		e.Conv = c.TConv(p, nTotal, opt.Nodes)
+		// One all-to-all per segment group; fewer segments mean longer
+		// packets and better sustained bandwidth (the Section 6.1 trade).
+		perSegBytes := 16 * mu * opt.PerNode / float64(segs)
+		e.MPI = float64(segs) * c.Fabric.AllToAllTime(opt.Nodes, perSegBytes, opt.Nodes-1)
+		stream := c.node(p).StreamGBps * 1e9
+		sweeps := c.EtcSweepsXeon
+		if p == XeonPhi {
+			sweeps = c.EtcSweepsPhi
+		}
+		e.Etc = sweeps * 16 * mu * nTotal / (stream * float64(opt.Nodes))
+		e.ExposedMPI = e.MPI
+		if opt.Overlap && segs > 1 {
+			// Exchange of segment g overlaps the M'-point FFT (+ fused
+			// demodulation) of segment g-1: the first exchange and any
+			// residual per segment stay exposed.
+			perSegMPI := e.MPI / float64(segs)
+			perSegFFT := e.LocalFFT / float64(segs)
+			e.ExposedMPI = perSegMPI + float64(segs-1)*math.Max(0, perSegMPI-perSegFFT)
+		}
+		e.Total = e.LocalFFT + e.Conv + e.ExposedMPI + e.Etc
+	}
+	return e
+}
+
+// TFLOPS returns the G-FFT rate 5*N*log2(N)/T in teraflops for the
+// estimate, using the nominal N (not the oversampled N').
+func (e Estimate) TFLOPS(nTotal float64) float64 {
+	return 5 * nTotal * math.Log2(nTotal) / e.Total / 1e12
+}

@@ -1,0 +1,192 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts |got-want| <= tol*want.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol*want {
+		t.Errorf("%s = %.4f, want %.4f (+-%.0f%%)", name, got, want, tol*100)
+	}
+}
+
+// TestSection4Constants pins the concrete numbers the paper derives in
+// Section 4: "Then Tfft=0.50 sec., T(phi)fft=0.16, Tconv=0.64,
+// T(phi)conv=0.21, and Tmpi=0.67" for 32 nodes, N = 2^27*32.
+func TestSection4Constants(t *testing.T) {
+	c := Default()
+	const nodes = 32
+	n := PerNodeElems * nodes
+
+	within(t, "Tfft(N) Xeon", c.TFFT(Xeon, n, nodes), 0.50, 0.04)
+	within(t, "Tfft(N) Phi", c.TFFT(XeonPhi, n, nodes), 0.16, 0.05)
+	within(t, "Tconv Xeon", c.TConv(Xeon, n, nodes), 0.64, 0.01)
+	within(t, "Tconv Phi", c.TConv(XeonPhi, n, nodes), 0.21, 0.03)
+	within(t, "Tmpi", c.TMPI(n, nodes), 0.67, 0.01)
+}
+
+// TestFig3Speedups pins the Fig. 3 conclusions: "With soi algorithm, Xeon
+// Phi achieves nearly 70% speedup over Xeon. [...] with the standard
+// Cooley-Tukey algorithm, Xeon Phi yields only 14% speedup."
+func TestFig3Speedups(t *testing.T) {
+	rows := Fig3(Default())
+	if len(rows) != 4 {
+		t.Fatalf("Fig3 rows = %d", len(rows))
+	}
+	byKey := map[[2]int]Fig3Row{}
+	for _, r := range rows {
+		byKey[[2]int{int(r.Algorithm), int(r.Platform)}] = r
+	}
+	ctSpeedup := byKey[[2]int{int(CooleyTukey), int(Xeon)}].Seconds /
+		byKey[[2]int{int(CooleyTukey), int(XeonPhi)}].Seconds
+	soiSpeedup := byKey[[2]int{int(SOI), int(Xeon)}].Seconds /
+		byKey[[2]int{int(SOI), int(XeonPhi)}].Seconds
+	if ctSpeedup < 1.08 || ctSpeedup > 1.25 {
+		t.Errorf("CT Phi/Xeon speedup = %.3f, paper says ~1.14", ctSpeedup)
+	}
+	if soiSpeedup < 1.6 || soiSpeedup > 1.85 {
+		t.Errorf("SOI Phi/Xeon speedup = %.3f, paper says ~1.7", soiSpeedup)
+	}
+	// The first row is the normalization baseline.
+	if math.Abs(rows[0].Normalized-1) > 1e-12 {
+		t.Errorf("baseline not normalized: %v", rows[0].Normalized)
+	}
+	// SOI on Xeon Phi must be the fastest configuration.
+	best := byKey[[2]int{int(SOI), int(XeonPhi)}].Normalized
+	for _, r := range rows {
+		if r.Normalized < best-1e-12 {
+			t.Errorf("%v/%v (%.3f) beats SOI/Phi (%.3f)", r.Algorithm, r.Platform, r.Normalized, best)
+		}
+	}
+}
+
+// TestFig8Headlines pins the headline results: tera-flop mark broken at 64
+// Xeon Phi nodes, ~6.7 TFLOPS at 512, SOI speedup 1.5-2.0x, CT speedup
+// marginal (~1.1x).
+func TestFig8Headlines(t *testing.T) {
+	rows := Fig8(Default())
+	byNodes := map[int]Fig8Row{}
+	for _, r := range rows {
+		byNodes[r.Nodes] = r
+	}
+	if r := byNodes[64]; r.SOIPhi < 1.0 {
+		t.Errorf("64 Xeon Phi nodes: %.2f TFLOPS, paper breaks 1.0", r.SOIPhi)
+	}
+	if r := byNodes[512]; r.SOIPhi < 6.0 || r.SOIPhi > 7.5 {
+		t.Errorf("512 Xeon Phi nodes: %.2f TFLOPS, paper reports 6.7", r.SOIPhi)
+	}
+	for _, nodes := range []int{64, 128, 256, 512} {
+		r := byNodes[nodes]
+		if r.SpeedupSOI < 1.3 || r.SpeedupSOI > 2.1 {
+			t.Errorf("%d nodes: SOI speedup %.2f outside the paper's 1.5-2.0 band", nodes, r.SpeedupSOI)
+		}
+		if r.SpeedupCT < 1.0 || r.SpeedupCT > 1.3 {
+			t.Errorf("%d nodes: CT speedup %.2f, paper says ~1.1", nodes, r.SpeedupCT)
+		}
+		if r.SOIXeon <= r.CTXeon {
+			t.Errorf("%d nodes: SOI (%.2f) not faster than CT (%.2f) on Xeon", nodes, r.SOIXeon, r.CTXeon)
+		}
+		if r.SpeedupSOI <= r.SpeedupCT {
+			t.Errorf("%d nodes: coprocessor helps CT more than SOI", nodes)
+		}
+	}
+	// Weak-scaling TFLOPS must grow with node count for SOI.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].SOIPhi <= rows[i-1].SOIPhi {
+			t.Errorf("SOI Phi TFLOPS not increasing: %d -> %d nodes", rows[i-1].Nodes, rows[i].Nodes)
+		}
+	}
+}
+
+// TestFig9Shape checks the breakdown properties the paper calls out:
+// convolution time constant under weak scaling; exposed MPI growing with
+// node count; Xeon Phi exposing more MPI than Xeon ("less communication can
+// be overlapped due to faster computation").
+func TestFig9Shape(t *testing.T) {
+	rows := Fig9(Default())
+	get := func(p Platform, nodes int) Estimate {
+		for _, r := range rows {
+			if r.Platform == p && r.Nodes == nodes {
+				return r.Estimate
+			}
+		}
+		t.Fatalf("missing row %v/%d", p, nodes)
+		return Estimate{}
+	}
+	for _, p := range []Platform{Xeon, XeonPhi} {
+		c4, c512 := get(p, 4), get(p, 512)
+		if math.Abs(c4.Conv-c512.Conv) > 1e-9 {
+			t.Errorf("%v: conv time changed under weak scaling: %g vs %g", p, c4.Conv, c512.Conv)
+		}
+		if get(p, 512).ExposedMPI <= get(p, 32).ExposedMPI {
+			t.Errorf("%v: exposed MPI did not grow with scale", p)
+		}
+	}
+	for _, nodes := range []int{32, 128, 512} {
+		if get(XeonPhi, nodes).ExposedMPI <= get(Xeon, nodes).ExposedMPI {
+			t.Errorf("%d nodes: Xeon Phi should expose more MPI than Xeon", nodes)
+		}
+	}
+}
+
+// TestFig12OffloadPenalty pins the Section 7 conclusion: "Xeon Phis in
+// offload mode are expected to be ~25% slower than those in symmetric
+// mode" (6 GB/s PCIe, 32-node setting).
+func TestFig12OffloadPenalty(t *testing.T) {
+	rows := Fig12(Default(), 32)
+	if len(rows) != 2 {
+		t.Fatalf("Fig12 rows = %d", len(rows))
+	}
+	if rows[0].Mode != "symmetric" || rows[1].Mode != "offload" {
+		t.Fatalf("unexpected row order: %v %v", rows[0].Mode, rows[1].Mode)
+	}
+	if s := rows[1].Slower; s < 1.15 || s < 1.0 || s > 1.40 {
+		t.Errorf("offload slowdown %.3f, paper says ~1.25", s)
+	}
+}
+
+// TestOverlapReducesExposedMPI checks the Section 6.1 overlap model.
+func TestOverlapReducesExposedMPI(t *testing.T) {
+	c := Default()
+	base := Options{Nodes: 64, PerNode: PerNodeElems, Segments: 8}
+	noOv := c.Estimate(SOI, XeonPhi, base)
+	ov := base
+	ov.Overlap = true
+	with := c.Estimate(SOI, XeonPhi, ov)
+	if with.ExposedMPI >= noOv.ExposedMPI {
+		t.Errorf("overlap did not reduce exposed MPI: %g vs %g", with.ExposedMPI, noOv.ExposedMPI)
+	}
+	if with.MPI != noOv.MPI {
+		t.Errorf("raw MPI changed with overlap")
+	}
+	// More segments => more overlap opportunity (raw MPI equal).
+	ov2 := ov
+	ov2.Segments = 2
+	seg2 := c.Estimate(SOI, XeonPhi, ov2)
+	if with.ExposedMPI > seg2.ExposedMPI {
+		t.Errorf("8 segments exposed %g > 2 segments %g", with.ExposedMPI, seg2.ExposedMPI)
+	}
+}
+
+func TestSegmentsFor(t *testing.T) {
+	if SegmentsFor(128) != 8 || SegmentsFor(4) != 8 {
+		t.Error("<=128 nodes should use 8 segments")
+	}
+	if SegmentsFor(256) != 2 || SegmentsFor(512) != 2 {
+		t.Error(">=256 nodes should use 2 segments")
+	}
+}
+
+func TestEstimateSingleNodeHasNoMPI(t *testing.T) {
+	c := Default()
+	e := c.Estimate(SOI, XeonPhi, Options{Nodes: 1, PerNode: PerNodeElems})
+	if e.MPI != 0 || e.ExposedMPI != 0 {
+		t.Errorf("single node should have zero MPI time: %+v", e)
+	}
+	if e.Total <= 0 {
+		t.Errorf("total must be positive: %+v", e)
+	}
+}

@@ -1,0 +1,91 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// TestHybridModeUnderTenPercent pins the Section 7 claim: "only less than
+// 10% speedups are expected from the additional [Xeon] compute due to the
+// bandwidth-limited nature of 1D-fft".
+func TestHybridModeUnderTenPercent(t *testing.T) {
+	c := Default()
+	for _, nodes := range []int{32, 128, 512} {
+		opt := Options{Nodes: nodes, PerNode: PerNodeElems, Overlap: true}
+		phi := c.Estimate(SOI, XeonPhi, opt)
+		hybrid := c.EstimateHybrid(opt)
+		speedup := phi.Total / hybrid.Total
+		if speedup < 1.0 {
+			t.Errorf("%d nodes: hybrid slower than Phi-only (%.3f)", nodes, speedup)
+		}
+		if speedup > 1.10 {
+			t.Errorf("%d nodes: hybrid speedup %.3f exceeds the paper's <10%% bound", nodes, speedup)
+		}
+	}
+}
+
+// TestSegmentPolicyJustified checks that the model agrees with the paper's
+// empirical segment policy: 8 segments win at <= 128 nodes (overlap
+// matters), 2 segments win at >= 512 (packet length matters).
+func TestSegmentPolicyJustified(t *testing.T) {
+	c := Default()
+	total := func(nodes, segs int) float64 {
+		return c.Estimate(SOI, XeonPhi, Options{
+			Nodes: nodes, PerNode: PerNodeElems, Segments: segs, Overlap: true,
+		}).Total
+	}
+	for _, nodes := range []int{32, 64, 128} {
+		if t8, t2 := total(nodes, 8), total(nodes, 2); t8 > t2*1.001 {
+			t.Errorf("%d nodes: 8 segments (%.3fs) should not lose to 2 (%.3fs)", nodes, t8, t2)
+		}
+	}
+	if t8, t2 := total(512, 8), total(512, 2); t2 > t8*1.001 {
+		t.Errorf("512 nodes: 2 segments (%.3fs) should not lose to 8 (%.3fs)", t2, t8)
+	}
+}
+
+func TestSegmentsStudyShape(t *testing.T) {
+	c := Default()
+	rows := c.SegmentsStudy(XeonPhi, 512, []int{1, 2, 4, 8, 16})
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Raw MPI time grows with segment count (shorter packets).
+	for i := 1; i < len(rows); i++ {
+		if rows[i].MPI < rows[i-1].MPI-1e-12 {
+			t.Errorf("raw MPI decreased from %d to %d segments", rows[i-1].Segments, rows[i].Segments)
+		}
+	}
+	// One segment has zero overlap: exposed == raw.
+	if rows[0].ExposedMPI != rows[0].MPI {
+		t.Error("1 segment should expose everything")
+	}
+	// More segments expose a smaller *fraction*.
+	f2 := rows[1].ExposedMPI / rows[1].MPI
+	f16 := rows[4].ExposedMPI / rows[4].MPI
+	if f16 >= f2 {
+		t.Errorf("overlap fraction did not improve: %0.3f -> %0.3f", f2, f16)
+	}
+}
+
+// TestConvCostRatio pins the Section 5.3 arithmetic: with N = 2^27*32,
+// B = 72 and mu = 8/7, "the convolution step has about 5x floating point
+// operations compared to the local fft".
+func TestConvCostRatio(t *testing.T) {
+	rows := AccuracyCostStudy(PerNodeElems*32, []AccuracyRow{
+		{NMu: 8, DMu: 7, B: 72},
+		{NMu: 5, DMu: 4, B: 72},
+		{NMu: 8, DMu: 7, B: 36},
+	})
+	if r := rows[0].ConvFlops; math.Abs(r-4.11) > 0.15 {
+		// 8*72*(8/7)/(5*32) = 4.11; the paper's "about 5x" compares
+		// against the *local* FFT of N points at 12% efficiency bookkeeping.
+		t.Errorf("conv/fft flops ratio %.2f, expected ~4.1 (paper: 'about 5x')", r)
+	}
+	if rows[2].ConvFlops >= rows[0].ConvFlops {
+		t.Error("halving B must halve the convolution cost")
+	}
+	if rows[1].ConvFlops <= rows[0].ConvFlops {
+		t.Error("mu=5/4 costs more flops than 8/7 at equal B")
+	}
+}

@@ -1,0 +1,83 @@
+package ref
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestDFTIDFTRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 16, 33} {
+		x := RandomVector(n, int64(n))
+		y := IDFT(DFT(x))
+		for i := range x {
+			if cmplx.Abs(y[i]-x[i]) > 1e-12*float64(n) {
+				t.Fatalf("n=%d: round trip differs at %d", n, i)
+			}
+		}
+	}
+}
+
+func TestDFTOfImpulse(t *testing.T) {
+	y := DFT(Impulse(8, 0))
+	for k, v := range y {
+		if cmplx.Abs(v-1) > 1e-14 {
+			t.Fatalf("bin %d: %v", k, v)
+		}
+	}
+}
+
+func TestTonesSpectrum(t *testing.T) {
+	n := 32
+	x := Tones(n, []int{3, -1}, []complex128{2, 1i})
+	y := DFT(x)
+	if cmplx.Abs(y[3]-complex(2*float64(n), 0)) > 1e-10 {
+		t.Errorf("bin 3: %v", y[3])
+	}
+	if cmplx.Abs(y[n-1]-complex(0, float64(n))) > 1e-10 {
+		t.Errorf("bin -1: %v", y[n-1])
+	}
+}
+
+func TestRandomVectorDeterministic(t *testing.T) {
+	a := RandomVector(10, 7)
+	b := RandomVector(10, 7)
+	c := RandomVector(10, 8)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed differs")
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds identical")
+	}
+}
+
+func TestGFFTResidual(t *testing.T) {
+	x := RandomVector(1024, 1)
+	// Perfect round trip: residual 0.
+	if r := GFFTResidual(x, x); r != 0 {
+		t.Errorf("perfect residual %g", r)
+	}
+	// A 1-ulp-per-element perturbation stays well under the HPCC limit 16.
+	pert := make([]complex128, len(x))
+	for i, v := range x {
+		pert[i] = v + complex(Eps, 0)
+	}
+	if r := GFFTResidual(x, pert); r <= 0 || r > 16 {
+		t.Errorf("ulp-level residual %g", r)
+	}
+	// Degenerate inputs.
+	if !math.IsInf(GFFTResidual(nil, nil), 1) {
+		t.Error("empty input should be Inf")
+	}
+	if !math.IsInf(GFFTResidual(x, x[:5]), 1) {
+		t.Error("length mismatch should be Inf")
+	}
+}

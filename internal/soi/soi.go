@@ -1,0 +1,200 @@
+// Package soi implements the Segment-of-Interest FFT factorization
+// (Equation 1 of the paper):
+//
+//	y = I_P (x) ( W^-1 Proj F_M' ) Perm(P,N') ( I_M' (x) F_P ) W x
+//
+// as a reusable plan over a single address space. The distributed driver in
+// internal/dist composes the same per-stage methods with message passing;
+// everything numerical lives here.
+//
+// Pipeline stages (right to left in the equation):
+//
+//  1. Convolve-and-oversample: u = W*x, via internal/conv (needs
+//     (B-DMu)*Segments ghost elements past the end, circularly).
+//  2. Small FFTs: S-point transforms on each contiguous block of u
+//     (I_M' (x) F_P with S = Segments playing the algebraic P).
+//  3. Stride-S permutation: gather lane f of u into segment vector t_f —
+//     the single all-to-all of the algorithm.
+//  4. Large local FFT: M'-point transform of t_f (6-step, Section 5.2).
+//  5. Project to the top M bins and demodulate by W^-1 (fused into the
+//     final pass of the 6-step FFT when possible).
+//
+// Segment f of the output is y[f*M : (f+1)*M] — the transform is in-order.
+package soi
+
+import (
+	"fmt"
+
+	"soifft/internal/conv"
+	"soifft/internal/cvec"
+	"soifft/internal/fft"
+	"soifft/internal/window"
+)
+
+// Options tune the plan; zero values select the optimized defaults.
+type Options struct {
+	Workers     int          // intra-node workers; <= 0 selects GOMAXPROCS
+	ConvVariant conv.Variant // convolution strategy (default Buffered)
+	FFTVariant  fft.Variant  // local large-FFT strategy (default SixStepOpt)
+	// NoFuseDemod forces demodulation to run as a separate pass even when
+	// the 6-step FFT could fuse it — the "out-of-the-box library" behaviour
+	// the paper observes on Xeon (Section 6.1, "etc." time).
+	NoFuseDemod bool
+}
+
+// DefaultOptions returns the optimized configuration.
+func DefaultOptions() Options {
+	return Options{ConvVariant: conv.Buffered, FFTVariant: fft.SixStepOpt}
+}
+
+// Plan is a reusable SOI transform plan. It is safe for concurrent use.
+type Plan struct {
+	Win  *window.Filter
+	opts Options
+
+	fp      *fft.Batch   // Segments-point FFT batch (stage 2)
+	fm      *fft.SixStep // M'-point FFT (stage 4); nil if no 2D split
+	fmPlain *fft.Plan    // fallback / separate-demod path
+}
+
+// NewPlan designs the window and builds the FFT sub-plans for p.
+func NewPlan(p window.Params, opts Options) (*Plan, error) {
+	if opts.ConvVariant == conv.Baseline && opts.FFTVariant == fft.SixStepNaive {
+		// Valid — the all-baselines configuration used by ablations.
+	}
+	win, err := window.Design(p)
+	if err != nil {
+		return nil, err
+	}
+	return NewPlanFromFilter(win, opts)
+}
+
+// NewPlanFromFilter builds a plan around an existing (e.g. deserialized)
+// window design, skipping the design search.
+func NewPlanFromFilter(win *window.Filter, opts Options) (*Plan, error) {
+	pl := &Plan{Win: win, opts: opts}
+	fp, err := fft.NewBatch(win.Segments, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
+	pl.fp = fp
+	mp := win.MPrime()
+	if fm, err := fft.NewSixStep(mp, opts.FFTVariant, opts.Workers); err == nil {
+		pl.fm = fm
+		if !opts.NoFuseDemod {
+			// Fused W^-1: multiply during the final pass of the 6-step
+			// FFT. Bins >= M are discarded by the projection; zeroing them
+			// keeps the fused pass branch-free.
+			demodFull := make([]complex128, mp)
+			copy(demodFull, win.Demod)
+			fm.SetDemod(demodFull)
+		}
+	}
+	plain, err := fft.NewPlan(mp)
+	if err != nil {
+		return nil, err
+	}
+	pl.fmPlain = plain
+	return pl, nil
+}
+
+// Params returns the plan's SOI parameters.
+func (pl *Plan) Params() window.Params { return pl.Win.Params }
+
+// EstimatedError returns the designed alias bound — the expected relative
+// accuracy of the transform.
+func (pl *Plan) EstimatedError() float64 { return pl.Win.AliasBound() }
+
+// Forward computes the in-order forward DFT of src (length N) into dst.
+// dst must not alias src.
+func (pl *Plan) Forward(dst, src []complex128) error {
+	p := pl.Win.Params
+	if len(src) < p.N || len(dst) < p.N {
+		return fmt.Errorf("soi: buffers too short for N=%d", p.N)
+	}
+	dst, src = dst[:p.N], src[:p.N]
+
+	// Stage 1+2: convolve (with circular ghost) and S-point FFTs.
+	xx := withGhost(src, pl.Win.GhostElems())
+	np := p.MPrime() * p.Segments // N' = mu*N
+	u := make([]complex128, np)
+	pl.ConvolveAndFP(u, xx, 0, p.Chunks())
+
+	// Stage 3: stride-S permutation — u viewed as an (M' x S) matrix,
+	// transposed so each segment's t_f is a contiguous row.
+	t := make([]complex128, np)
+	cvec.Transpose(t, u, p.MPrime(), p.Segments)
+
+	// Stage 4+5 per segment.
+	y := make([]complex128, p.MPrime())
+	for f := 0; f < p.Segments; f++ {
+		pl.FinishSegment(dst[f*p.M():(f+1)*p.M()], t[f*p.MPrime():(f+1)*p.MPrime()], y)
+	}
+	return nil
+}
+
+// Inverse computes the normalized inverse DFT via the conjugation identity
+// IFFT(x) = conj(SOI(conj(x)))/N, inheriting SOI's accuracy.
+func (pl *Plan) Inverse(dst, src []complex128) error {
+	n := pl.Win.N
+	cc := make([]complex128, n)
+	for i, v := range src[:n] {
+		cc[i] = complex(real(v), -imag(v))
+	}
+	if err := pl.Forward(dst, cc); err != nil {
+		return err
+	}
+	inv := 1 / float64(n)
+	for i, v := range dst[:n] {
+		dst[i] = complex(real(v)*inv, -imag(v)*inv)
+	}
+	return nil
+}
+
+// withGhost returns src extended circularly by ghost elements.
+func withGhost(src []complex128, ghost int) []complex128 {
+	n := len(src)
+	xx := make([]complex128, n+ghost)
+	copy(xx, src)
+	for i := 0; i < ghost; i++ {
+		xx[n+i] = src[i%n]
+	}
+	return xx
+}
+
+// ConvolveAndFP runs stages 1 and 2 for chunks [c0, c1): the convolution of
+// xWithGhost (whose origin is global input index c0*DMu*Segments, length >=
+// conv.InputLen) followed by in-place Segments-point FFTs over the produced
+// blocks. u receives (c1-c0)*NMu*Segments values. This is exactly the
+// node-local pre-exchange work of a distributed rank.
+func (pl *Plan) ConvolveAndFP(u, xWithGhost []complex128, c0, c1 int) {
+	p := pl.Win.Params
+	conv.Apply(pl.opts.ConvVariant, pl.Win, u, xWithGhost, c0, c1, pl.opts.Workers)
+	blocks := (c1 - c0) * p.NMu
+	pl.fp.Transform(u, u, blocks, p.Segments, fft.Forward)
+}
+
+// FinishSegment runs stages 4 and 5 for one segment: the M'-point FFT of
+// tf, projection to the top M bins, and demodulation by W^-1, writing the
+// M in-order spectrum values of the segment into dst. scratch must have
+// length >= M' (pass nil to allocate).
+func (pl *Plan) FinishSegment(dst, tf, scratch []complex128) {
+	p := pl.Win.Params
+	mp := p.MPrime()
+	m := p.M()
+	if scratch == nil {
+		scratch = make([]complex128, mp)
+	}
+	if pl.fm != nil && !pl.opts.NoFuseDemod {
+		pl.fm.Forward(scratch, tf)
+		copy(dst[:m], scratch[:m])
+		return
+	}
+	if pl.fm != nil {
+		pl.fm.Forward(scratch, tf)
+	} else {
+		pl.fmPlain.Forward(scratch, tf)
+	}
+	// Separate demodulation pass (projection keeps only the top M bins).
+	cvec.PointwiseMul(dst[:m], scratch[:m], pl.Win.Demod)
+}

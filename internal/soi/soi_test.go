@@ -1,0 +1,287 @@
+package soi
+
+import (
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+
+	"soifft/internal/conv"
+	"soifft/internal/cvec"
+	"soifft/internal/fft"
+	"soifft/internal/ref"
+	"soifft/internal/window"
+)
+
+// paperParams: mu=8/7, B=72 — the paper's production configuration at a
+// test-friendly N. Accuracy depends on (mu-1)*B, not N.
+func paperParams(segments, chunks int) window.Params {
+	m := 7 * segments * chunks
+	return window.Params{N: m * segments, Segments: segments, NMu: 8, DMu: 7, B: 72}
+}
+
+func fftReference(x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	fft.MustPlan(len(x)).Forward(out, x)
+	return out
+}
+
+func TestForwardMatchesFFTPaperParams(t *testing.T) {
+	p := paperParams(4, 16) // N = 1792
+	pl, err := NewPlan(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ref.RandomVector(p.N, 42)
+	got := make([]complex128, p.N)
+	if err := pl.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	want := fftReference(x)
+	e := cvec.RelErrL2(got, want)
+	if e > 1e-7 {
+		t.Errorf("SOI error vs FFT: %g (designed alias bound %g)", e, pl.EstimatedError())
+	}
+	// The error must be consistent with the designed bound: within 100x.
+	if e > 100*pl.EstimatedError() {
+		t.Errorf("measured error %g far exceeds designed bound %g", e, pl.EstimatedError())
+	}
+}
+
+func TestForwardMatchesReferenceDFTSmall(t *testing.T) {
+	// Independent O(N^2) ground truth on a small problem.
+	p := window.Params{N: 448, Segments: 2, NMu: 8, DMu: 7, B: 48}
+	pl, err := NewPlan(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ref.RandomVector(p.N, 7)
+	got := make([]complex128, p.N)
+	if err := pl.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := cvec.RelErrL2(got, ref.DFT(x)); e > 1e-5 {
+		t.Errorf("error vs reference DFT: %g", e)
+	}
+}
+
+func TestAllOptionCombinations(t *testing.T) {
+	p := paperParams(4, 4) // N = 448... segments=4, chunks=4: M=112, N=448
+	x := ref.RandomVector(p.N, 3)
+	want := fftReference(x)
+	for _, cv := range conv.AllVariants {
+		for _, fv := range fft.AllVariants {
+			for _, noFuse := range []bool{false, true} {
+				opts := Options{ConvVariant: cv, FFTVariant: fv, NoFuseDemod: noFuse, Workers: 2}
+				pl, err := NewPlan(p, opts)
+				if err != nil {
+					t.Fatalf("%v/%v: %v", cv, fv, err)
+				}
+				got := make([]complex128, p.N)
+				if err := pl.Forward(got, x); err != nil {
+					t.Fatal(err)
+				}
+				if e := cvec.RelErrL2(got, want); e > 1e-6 {
+					t.Errorf("conv=%v fft=%v noFuse=%v: error %g", cv, fv, noFuse, e)
+				}
+			}
+		}
+	}
+}
+
+func TestMu54(t *testing.T) {
+	// mu = 5/4 with B=72: deeper stopband than 8/7.
+	segments, chunks := 4, 16
+	m := 4 * segments * chunks
+	p := window.Params{N: m * segments, Segments: segments, NMu: 5, DMu: 4, B: 72}
+	pl, err := NewPlan(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ref.RandomVector(p.N, 11)
+	got := make([]complex128, p.N)
+	if err := pl.Forward(got, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := cvec.RelErrL2(got, fftReference(x)); e > 1e-9 {
+		t.Errorf("mu=5/4 error %g", e)
+	}
+}
+
+func TestErrorDecreasesWithB(t *testing.T) {
+	segments, chunks := 4, 8
+	m := 7 * segments * chunks
+	base := window.Params{N: m * segments, Segments: segments, NMu: 8, DMu: 7}
+	x := ref.RandomVector(base.N, 13)
+	want := fftReference(x)
+	prev := 1.0
+	for _, b := range []int{12, 24, 48} {
+		p := base
+		p.B = b
+		pl, err := NewPlan(p, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, p.N)
+		if err := pl.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		e := cvec.RelErrL2(got, want)
+		if !(e < prev) {
+			t.Errorf("B=%d: error %g did not improve on %g", b, e, prev)
+		}
+		prev = e
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	p := paperParams(4, 8)
+	pl, err := NewPlan(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ref.RandomVector(p.N, 17)
+	y := make([]complex128, p.N)
+	z := make([]complex128, p.N)
+	if err := pl.Forward(y, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Inverse(z, y); err != nil {
+		t.Fatal(err)
+	}
+	if e := cvec.RelErrL2(z, x); e > 1e-6 {
+		t.Errorf("round-trip error %g", e)
+	}
+}
+
+func TestSegmentOutputsAreInOrder(t *testing.T) {
+	// A tone at bin k must appear in segment k/M at local position k%M:
+	// SOI produces an in-order transform, the hard part of distributed
+	// 1D FFT the paper emphasizes.
+	p := paperParams(4, 8)
+	pl, err := NewPlan(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.M()
+	for _, bin := range []int{0, 1, m - 1, m, 2*m + 5, p.N - 1} {
+		x := ref.Tones(p.N, []int{bin}, []complex128{1})
+		got := make([]complex128, p.N)
+		if err := pl.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < p.N; k++ {
+			want := complex(0, 0)
+			if k == bin {
+				want = complex(float64(p.N), 0)
+			}
+			if cmplx.Abs(got[k]-want) > 1e-5*float64(p.N) {
+				t.Fatalf("bin %d: output[%d] = %v, want %v", bin, k, got[k], want)
+			}
+		}
+	}
+}
+
+func TestShortBufferError(t *testing.T) {
+	p := paperParams(2, 4)
+	pl, err := NewPlan(p, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := pl.Forward(make([]complex128, 3), make([]complex128, p.N)); err == nil {
+		t.Error("expected error for short dst")
+	}
+	if err := pl.Forward(make([]complex128, p.N), make([]complex128, 3)); err == nil {
+		t.Error("expected error for short src")
+	}
+}
+
+func TestQuickRandomParams(t *testing.T) {
+	// Random valid parameter tuples must stay within their designed bound.
+	fn := func(segSel, chunkSel uint8, seed int64) bool {
+		segments := []int{2, 4}[int(segSel)%2]
+		chunks := 4 + int(chunkSel)%8
+		p := paperParams(segments, chunks)
+		pl, err := NewPlan(p, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		x := ref.RandomVector(p.N, seed)
+		got := make([]complex128, p.N)
+		if err := pl.Forward(got, x); err != nil {
+			return false
+		}
+		e := cvec.RelErrL2(got, fftReference(x))
+		return e < 100*pl.EstimatedError()
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSingleSegmentRejected(t *testing.T) {
+	// Segments=1 is structurally invalid: the prototype's spectral support
+	// (band + two transitions, width (2*mu-1)*M) exceeds the whole period
+	// N = M, so aliasing images overlap the band and no window separates
+	// them. The validator must reject it rather than produce a silently
+	// inaccurate plan.
+	p := window.Params{N: 7 * 64, Segments: 1, NMu: 8, DMu: 7, B: 48}
+	if _, err := NewPlan(p, DefaultOptions()); err == nil {
+		t.Fatal("segments=1 accepted; it cannot be computed accurately")
+	}
+	// mu=2 needs more segments still: Segments > 3.
+	bad := window.Params{N: 3 * 3 * 1 * 12, Segments: 3, NMu: 2, DMu: 1, B: 24}
+	if err := bad.Validate(); err == nil {
+		t.Error("segments=3 with mu=2 accepted (needs > 3)")
+	}
+}
+
+func TestEstimatedErrorCoversMeasured(t *testing.T) {
+	// The designed bound must cover the measured error (within a small
+	// constant) across configurations — the contract EstimatedError
+	// documents.
+	for _, tc := range []window.Params{
+		{N: 4 * 448, Segments: 4, NMu: 8, DMu: 7, B: 72},
+		{N: 8 * 448, Segments: 8, NMu: 8, DMu: 7, B: 72},
+		{N: 4 * 448, Segments: 4, NMu: 8, DMu: 7, B: 32},
+		{N: 4 * 512, Segments: 4, NMu: 5, DMu: 4, B: 48},
+	} {
+		pl, err := NewPlan(tc, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		x := ref.RandomVector(tc.N, 31)
+		got := make([]complex128, tc.N)
+		if err := pl.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		e := cvec.RelErrL2(got, fftReference(x))
+		if e > 10*pl.EstimatedError() {
+			t.Errorf("%+v: measured %g exceeds 10x designed bound %g", tc, e, pl.EstimatedError())
+		}
+	}
+}
+
+func TestWorkerCountsAgree(t *testing.T) {
+	p := paperParams(4, 8)
+	x := ref.RandomVector(p.N, 37)
+	var ref1 []complex128
+	for _, workers := range []int{1, 2, 4} {
+		opts := DefaultOptions()
+		opts.Workers = workers
+		pl, err := NewPlan(p, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make([]complex128, p.N)
+		if err := pl.Forward(got, x); err != nil {
+			t.Fatal(err)
+		}
+		if ref1 == nil {
+			ref1 = got
+			continue
+		}
+		if e := cvec.RelErrL2(got, ref1); e != 0 {
+			t.Errorf("workers=%d: results differ by %g (parallelization must be bitwise deterministic)", workers, e)
+		}
+	}
+}

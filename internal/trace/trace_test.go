@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestAddGetTotal(t *testing.T) {
+	b := NewBreakdown()
+	b.Add(PhaseConv, time.Second)
+	b.Add(PhaseConv, time.Second)
+	b.Add(PhaseLocalFFT, 3*time.Second)
+	if got := b.Get(PhaseConv); got != 2*time.Second {
+		t.Errorf("Get = %v", got)
+	}
+	if got := b.Total(); got != 5*time.Second {
+		t.Errorf("Total = %v", got)
+	}
+	phases := b.Phases()
+	if len(phases) != 2 || phases[0] != PhaseConv || phases[1] != PhaseLocalFFT {
+		t.Errorf("Phases = %v", phases)
+	}
+}
+
+func TestTimer(t *testing.T) {
+	b := NewBreakdown()
+	stop := b.Timer("x")
+	time.Sleep(2 * time.Millisecond)
+	stop()
+	if b.Get("x") < time.Millisecond {
+		t.Errorf("timer recorded %v", b.Get("x"))
+	}
+}
+
+func TestNilBreakdownSafe(t *testing.T) {
+	var b *Breakdown
+	b.Add("x", time.Second) // must not panic
+	b.Timer("y")()
+	if b.Get("x") != 0 || b.Total() != 0 {
+		t.Error("nil breakdown returned nonzero")
+	}
+}
+
+func TestMergeAndScale(t *testing.T) {
+	a := NewBreakdown()
+	a.Add("p", 2*time.Second)
+	b := NewBreakdown()
+	b.Add("p", time.Second)
+	b.Add("q", 4*time.Second)
+	a.Merge(b)
+	a.Merge(nil)
+	if a.Get("p") != 3*time.Second || a.Get("q") != 4*time.Second {
+		t.Errorf("merge: p=%v q=%v", a.Get("p"), a.Get("q"))
+	}
+	a.Scale(0.5)
+	if a.Get("q") != 2*time.Second {
+		t.Errorf("scale: q=%v", a.Get("q"))
+	}
+}
+
+func TestStringSortedByDuration(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("small", time.Millisecond)
+	b.Add("big", time.Second)
+	s := b.String()
+	if !strings.Contains(s, "big") || strings.Index(s, "big") > strings.Index(s, "small") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	b := NewBreakdown()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				b.Add("p", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if b.Get("p") != 800*time.Microsecond {
+		t.Errorf("concurrent adds lost: %v", b.Get("p"))
+	}
+}

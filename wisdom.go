@@ -1,0 +1,53 @@
+package soifft
+
+import (
+	"fmt"
+	"io"
+
+	"soifft/internal/soi"
+	"soifft/internal/window"
+)
+
+// SaveWisdom writes the plan's window design (the expensive, deterministic
+// part of planning — FFTW calls this "wisdom") to w. A later run can
+// rebuild an equivalent plan without redoing the design search via
+// NewPlanFromWisdom.
+func (p *Plan) SaveWisdom(w io.Writer) error {
+	return p.inner.Win.Save(w)
+}
+
+// NewPlanFromWisdom builds a plan from saved wisdom. The wisdom pins N,
+// Segments, the oversampling factor and the convolution width; cfg supplies
+// only the execution knobs (Workers, Optimizations) — its structural fields
+// must be zero or match the wisdom.
+func NewPlanFromWisdom(r io.Reader, cfg Config) (*Plan, error) {
+	win, err := window.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Segments != 0 && cfg.Segments != win.Segments {
+		return nil, fmt.Errorf("soifft: wisdom has %d segments, config wants %d", win.Segments, cfg.Segments)
+	}
+	if cfg.ConvWidth != 0 && cfg.ConvWidth != win.B {
+		return nil, fmt.Errorf("soifft: wisdom has B=%d, config wants %d", win.B, cfg.ConvWidth)
+	}
+	if cfg.OversampleNum != 0 && (cfg.OversampleNum != win.NMu || cfg.OversampleDen != win.DMu) {
+		return nil, fmt.Errorf("soifft: wisdom has mu=%d/%d, config wants %d/%d",
+			win.NMu, win.DMu, cfg.OversampleNum, cfg.OversampleDen)
+	}
+	// Derive the execution options through the normal path using the
+	// wisdom's structural parameters.
+	full := cfg
+	full.Segments = win.Segments
+	full.OversampleNum, full.OversampleDen = win.NMu, win.DMu
+	full.ConvWidth = win.B
+	_, opts, err := full.params(win.N)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := soi.NewPlanFromFilter(win, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{inner: inner}, nil
+}

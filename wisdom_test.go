@@ -1,0 +1,75 @@
+package soifft
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+)
+
+func TestWisdomRoundTrip(t *testing.T) {
+	n := validN(4)
+	orig, err := NewPlan(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveWisdom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := NewPlanFromWisdom(&buf, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != n || loaded.Segments() != orig.Segments() {
+		t.Fatalf("loaded metadata: N=%d Segments=%d", loaded.N(), loaded.Segments())
+	}
+	if loaded.EstimatedError() != orig.EstimatedError() {
+		t.Error("diagnostics not preserved")
+	}
+	x := ref.RandomVector(n, 6)
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	if err := orig.Forward(a, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.Forward(b, x); err != nil {
+		t.Fatal(err)
+	}
+	if e := cvec.RelErrL2(a, b); e != 0 {
+		t.Errorf("wisdom-rebuilt plan differs by %g", e)
+	}
+}
+
+func TestWisdomConfigMismatch(t *testing.T) {
+	n := validN(4)
+	orig, err := NewPlan(n, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.SaveWisdom(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wisdom := buf.Bytes()
+	for _, cfg := range []Config{
+		{Segments: 4},                        // wisdom has 8
+		{ConvWidth: 48},                      // wisdom has 72
+		{OversampleNum: 5, OversampleDen: 4}, // wisdom has 8/7
+	} {
+		if _, err := NewPlanFromWisdom(bytes.NewReader(wisdom), cfg); err == nil {
+			t.Errorf("mismatched config %+v accepted", cfg)
+		}
+	}
+}
+
+func TestWisdomRejectsGarbage(t *testing.T) {
+	if _, err := NewPlanFromWisdom(strings.NewReader("not wisdom"), Config{}); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := NewPlanFromWisdom(bytes.NewReader(nil), Config{}); err == nil {
+		t.Error("empty input accepted")
+	}
+}
