@@ -1,0 +1,138 @@
+// Soilint runs the repo-native static analyzers over soifft packages: the
+// performance-programming discipline of the paper (no hot-path allocation,
+// precomputed twiddles, no dropped communicator errors, race-free parallel
+// bodies) enforced mechanically. See internal/analysis for the checks.
+//
+// Usage:
+//
+//	soilint [-json] [-checks hotalloc,errdrop,...] [-v] [packages]
+//
+// Packages default to ./... relative to the enclosing module root. Exit
+// status: 0 clean, 1 findings, 2 usage or load failure. Findings are
+// suppressed line-by-line with a justified "//soilint:ignore <check>"
+// comment on the offending line or the line above.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"soifft/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	verbose := flag.Bool("v", false, "also list suppressed findings and type-check warnings")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-checks list] [-v] [packages]\navailable checks:\n")
+		for _, a := range analysis.All {
+			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers, err := analysis.ByName(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soilint:", err)
+		return 2
+	}
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soilint:", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soilint:", err)
+		return 2
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := loader.LoadPatterns(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "soilint:", err)
+		return 2
+	}
+
+	active, suppressed := []analysis.Diagnostic{}, []analysis.Diagnostic{}
+	for _, pkg := range pkgs {
+		if *verbose {
+			for _, te := range pkg.TypeErrors {
+				fmt.Fprintf(os.Stderr, "soilint: typecheck %s: %v\n", pkg.Path, te)
+			}
+		}
+		a, s := analysis.Run(pkg, analyzers)
+		active = append(active, a...)
+		suppressed = append(suppressed, s...)
+	}
+	relativize(root, active)
+	relativize(root, suppressed)
+
+	if *jsonOut {
+		out := struct {
+			Findings   []analysis.Diagnostic `json:"findings"`
+			Suppressed []analysis.Diagnostic `json:"suppressed"`
+		}{Findings: active, Suppressed: suppressed}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "soilint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range active {
+			fmt.Println(d)
+		}
+		if *verbose {
+			for _, d := range suppressed {
+				fmt.Printf("%s (suppressed)\n", d)
+			}
+		}
+	}
+	if len(active) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "soilint: %d finding(s)\n", len(active))
+		}
+		return 1
+	}
+	return 0
+}
+
+// relativize rewrites absolute file paths relative to the module root for
+// stable, readable output.
+func relativize(root string, ds []analysis.Diagnostic) {
+	for i := range ds {
+		if rel, err := filepath.Rel(root, ds[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			ds[i].File = rel
+		}
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,216 @@
+// Package analysis is soifft's repo-native static-analysis framework. It
+// encodes the performance-programming discipline of the source paper as
+// mechanical checks: bandwidth-centric kernels must not allocate on hot
+// paths (hotalloc), twiddle/window trigonometry must come from precomputed
+// tables (twiddleloop), communicator errors must never be silently dropped
+// (errdrop), and parallel-for bodies must not race on captured state
+// (parcapture).
+//
+// The framework is standard-library only (go/ast, go/parser, go/token,
+// go/types): a Loader that parses and type-checks module packages, an
+// Analyzer interface with position-carrying Diagnostics, and a
+// line-targeted suppression directive:
+//
+//	//soilint:ignore <check>[,<check>...] [justification]
+//
+// placed on the offending line or the line directly above it. Suppressed
+// findings are reported separately so the CLI can surface them with -v
+// without failing the build.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, anchored to a file position.
+type Diagnostic struct {
+	Check   string `json:"check"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Message string `json:"message"`
+}
+
+// String renders the conventional file:line:col: [check] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Check, d.Message)
+}
+
+// Analyzer is one check. Run inspects the package and reports findings
+// through the pass; it must not retain the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass carries one (package, analyzer) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    []Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Pkg.Fset.Position(pos)
+	p.diags = append(p.diags, Diagnostic{
+		Check:   p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All lists every registered analyzer in stable order.
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture}
+
+// ByName resolves a comma-separated check list ("hotalloc,errdrop") against
+// the registry; the empty string selects all analyzers.
+func ByName(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return All, nil
+	}
+	byName := make(map[string]*Analyzer, len(All))
+	for _, a := range All {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown check %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreDirective is the comment prefix that suppresses findings.
+const ignoreDirective = "soilint:ignore"
+
+// suppressions maps file -> line -> set of suppressed check names for one
+// package. A directive suppresses findings of the named checks on its own
+// line and on the line directly below it (i.e. it may trail the offending
+// statement or sit on its own line above it).
+type suppressions map[string]map[int]map[string]bool
+
+// collectSuppressions scans every comment of the package for ignore
+// directives.
+func collectSuppressions(pkg *Package) suppressions {
+	sup := make(suppressions)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				byLine := sup[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]map[string]bool)
+					sup[pos.Filename] = byLine
+				}
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					set := byLine[line]
+					if set == nil {
+						set = make(map[string]bool)
+						byLine[line] = set
+					}
+					for _, ch := range checks {
+						set[ch] = true
+					}
+				}
+			}
+		}
+	}
+	return sup
+}
+
+// parseIgnore extracts the check names from one comment, if it is an ignore
+// directive. Directive grammar: "//soilint:ignore check1[,check2...]
+// [free-form justification]".
+func parseIgnore(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, ignoreDirective)
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false // e.g. soilint:ignoredsomething — not this directive
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var checks []string
+	for _, c := range strings.Split(fields[0], ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			checks = append(checks, c)
+		}
+	}
+	return checks, len(checks) > 0
+}
+
+// suppressed reports whether d is covered by a directive.
+func (s suppressions) suppressed(d Diagnostic) bool {
+	return s[d.File][d.Line][d.Check]
+}
+
+// Run applies the analyzers to pkg and splits the findings into active and
+// suppressed, each sorted by position and de-duplicated.
+func Run(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagnostic) {
+	sup := collectSuppressions(pkg)
+	seen := make(map[Diagnostic]bool)
+	for _, a := range analyzers {
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		a.Run(pass)
+		for _, d := range pass.diags {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			if sup.suppressed(d) {
+				suppressed = append(suppressed, d)
+			} else {
+				active = append(active, d)
+			}
+		}
+	}
+	sortDiags(active)
+	sortDiags(suppressed)
+	return active, suppressed
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+}
+
+// inspectAll walks every file of the package.
+func inspectAll(pkg *Package, fn func(ast.Node) bool) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}

@@ -1,0 +1,190 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sharedLoader caches one loader (and its type-checked stdlib) across all
+// tests in the package; source-importing math, math/cmplx and friends once
+// keeps the suite fast.
+var sharedLoader *Loader
+
+func loaderFor(t *testing.T) *Loader {
+	t.Helper()
+	if sharedLoader == nil {
+		l, err := NewLoader("../..")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		sharedLoader = l
+	}
+	return sharedLoader
+}
+
+func fixtureDir(parts ...string) string {
+	return filepath.Join(append([]string{"testdata", "src"}, parts...)...)
+}
+
+// TestAnalyzersGolden runs each analyzer over its fixture package and
+// compares the reported (file, line) sets — both active and suppressed —
+// against the golden expectations. Every analyzer demonstrates at least one
+// true positive and one suppressed finding.
+func TestAnalyzersGolden(t *testing.T) {
+	tests := []struct {
+		name           string
+		dir            string
+		analyzer       *Analyzer
+		wantActive     []int
+		wantSuppressed []int
+	}{
+		{
+			name:           "hotalloc par bodies",
+			dir:            fixtureDir("hotalloc"),
+			analyzer:       HotAlloc,
+			wantActive:     []int{9, 20, 29, 38},
+			wantSuppressed: []int{48},
+		},
+		{
+			name:           "hotalloc kernel loops",
+			dir:            fixtureDir("hot", "internal", "fft"),
+			analyzer:       HotAlloc,
+			wantActive:     []int{8},
+			wantSuppressed: []int{27},
+		},
+		{
+			name:           "errdrop",
+			dir:            fixtureDir("errdrop"),
+			analyzer:       ErrDrop,
+			wantActive:     []int{8, 9, 10, 11, 13},
+			wantSuppressed: []int{37},
+		},
+		{
+			name:           "twiddleloop",
+			dir:            fixtureDir("trig", "internal", "fft"),
+			analyzer:       TwiddleLoop,
+			wantActive:     []int{13, 26},
+			wantSuppressed: []int{43},
+		},
+		{
+			name:           "parcapture",
+			dir:            fixtureDir("parcapture"),
+			analyzer:       ParCapture,
+			wantActive:     []int{11, 20, 27, 47},
+			wantSuppressed: []int{56},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			pkg, err := loaderFor(t).LoadDir(tt.dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", tt.dir, err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("fixture %s has type errors: %v", tt.dir, pkg.TypeErrors)
+			}
+			active, suppressed := Run(pkg, []*Analyzer{tt.analyzer})
+			checkLines(t, "active", active, tt.wantActive, tt.analyzer.Name)
+			checkLines(t, "suppressed", suppressed, tt.wantSuppressed, tt.analyzer.Name)
+		})
+	}
+}
+
+// checkLines compares reported diagnostic lines to the golden set.
+func checkLines(t *testing.T, kind string, got []Diagnostic, wantLines []int, check string) {
+	t.Helper()
+	gotLines := map[int]int{}
+	for _, d := range got {
+		if d.Check != check {
+			t.Errorf("%s diagnostic has check %q, want %q", kind, d.Check, check)
+		}
+		if d.Message == "" {
+			t.Errorf("%s diagnostic at line %d has empty message", kind, d.Line)
+		}
+		gotLines[d.Line]++
+	}
+	want := map[int]bool{}
+	for _, l := range wantLines {
+		want[l] = true
+		if gotLines[l] == 0 {
+			t.Errorf("missing %s finding at line %d", kind, l)
+		}
+	}
+	for l := range gotLines {
+		if !want[l] {
+			t.Errorf("unexpected %s finding at line %d", kind, l)
+		}
+	}
+}
+
+// TestRepoIsClean is the enforceable gate in test form: the analyzers over
+// the real module tree must report zero unsuppressed findings. This is the
+// same invariant scripts/check.sh enforces via the soilint CLI.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	pkgs, err := loaderFor(t).LoadPatterns([]string{"./..."})
+	if err != nil {
+		t.Fatalf("LoadPatterns: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		active, _ := Run(pkg, All)
+		for _, d := range active {
+			t.Errorf("unsuppressed finding: %s", d)
+		}
+	}
+}
+
+// TestByName covers check selection.
+func TestByName(t *testing.T) {
+	all, err := ByName("")
+	if err != nil || len(all) != len(All) {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want all %d", len(all), err, len(All))
+	}
+	two, err := ByName("hotalloc, errdrop")
+	if err != nil || len(two) != 2 || two[0] != HotAlloc || two[1] != ErrDrop {
+		t.Fatalf("ByName(hotalloc,errdrop) = %v, err %v", two, err)
+	}
+	if _, err := ByName("nosuchcheck"); err == nil || !strings.Contains(err.Error(), "nosuchcheck") {
+		t.Fatalf("ByName(nosuchcheck) err = %v, want unknown-check error", err)
+	}
+}
+
+// TestParseIgnore covers the directive grammar.
+func TestParseIgnore(t *testing.T) {
+	tests := []struct {
+		text string
+		want []string
+	}{
+		{"//soilint:ignore hotalloc", []string{"hotalloc"}},
+		{"// soilint:ignore hotalloc justified because reasons", []string{"hotalloc"}},
+		{"//soilint:ignore hotalloc,errdrop shared justification", []string{"hotalloc", "errdrop"}},
+		{"/*soilint:ignore parcapture*/", []string{"parcapture"}},
+		{"//soilint:ignore", nil},          // no checks named
+		{"// just a comment", nil},         // not a directive
+		{"//soilint:ignored hotalloc", nil}, // wrong directive word
+	}
+	for _, tt := range tests {
+		got, ok := parseIgnore(tt.text)
+		if tt.want == nil {
+			if ok {
+				t.Errorf("parseIgnore(%q) = %v, want no directive", tt.text, got)
+			}
+			continue
+		}
+		if !ok || len(got) != len(tt.want) {
+			t.Errorf("parseIgnore(%q) = %v, %v; want %v", tt.text, got, ok, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseIgnore(%q)[%d] = %q, want %q", tt.text, i, got[i], tt.want[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// hotPkgSuffixes are the packages whose loop bodies are treated as hot
+// paths unconditionally: the node-local kernels the paper's bandwidth model
+// is built on. One stray allocation per element turns a 4-sweep kernel into
+// a garbage-collector benchmark.
+var hotPkgSuffixes = []string{"internal/fft", "internal/conv", "internal/cvec"}
+
+// HotAlloc flags heap allocations on hot paths: make/new/append calls,
+// slice and map composite literals, and interface boxing inside (a) the
+// closure bodies handed to par.For / par.ForChunked anywhere in the module,
+// and (b) for-loop bodies in the kernel packages (internal/fft,
+// internal/conv, internal/cvec). Plan-construction and table-building
+// functions (New*, new*, Build*, build*, *Table, init) are exempt — they
+// are supposed to allocate, once, at plan time.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocations (make/new/append, slice or map literals, interface boxing) inside par.For bodies and kernel-package loops",
+	Run:  runHotAlloc,
+}
+
+func runHotAlloc(pass *Pass) {
+	info := pass.Pkg.Info
+	hotPkg := pathHasSuffix(pass.Pkg.Path, hotPkgSuffixes...)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch v := n.(type) {
+			case *ast.CallExpr:
+				if body := parBody(info, v); body != nil {
+					reportAllocs(pass, body.Body, "par body")
+					return true
+				}
+			case *ast.ForStmt:
+				if hotPkg && !isPrecomputeFunc(enclosingFuncName(file, v)) {
+					reportAllocs(pass, v.Body, "kernel loop")
+				}
+			case *ast.RangeStmt:
+				if hotPkg && !isPrecomputeFunc(enclosingFuncName(file, v)) {
+					reportAllocs(pass, v.Body, "kernel loop")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// reportAllocs walks one hot region and reports every allocation site.
+// Nested hot regions are revisited by the outer Inspect; the de-dup in Run
+// collapses double reports at identical positions.
+func reportAllocs(pass *Pass, region ast.Node, where string) {
+	info := pass.Pkg.Info
+	ast.Inspect(region, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.CallExpr:
+			switch calleeBuiltin(info, v) {
+			case "make":
+				pass.Reportf(v.Pos(), "make inside %s allocates per invocation; hoist it or use a sync.Pool", where)
+			case "new":
+				pass.Reportf(v.Pos(), "new inside %s allocates per invocation; hoist it or use a sync.Pool", where)
+			case "append":
+				pass.Reportf(v.Pos(), "append inside %s may grow its backing array; preallocate outside the hot region", where)
+			case "":
+				reportBoxing(pass, v, where)
+			}
+		case *ast.CompositeLit:
+			if t := info.TypeOf(v); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(v.Pos(), "%s literal inside %s allocates per invocation; hoist it outside the hot region", describeComposite(t), where)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func describeComposite(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}
+
+// reportBoxing flags concrete values passed to interface parameters (the
+// fmt.Printf pattern): each such argument escapes to the heap on every
+// call, which is deadly inside a bandwidth-bound loop.
+func reportBoxing(pass *Pass, call *ast.CallExpr, where string) {
+	info := pass.Pkg.Info
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return // conversion or unresolved
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case call.Ellipsis.IsValid() && i == len(call.Args)-1:
+			continue // f(xs...) passes the slice through, no boxing
+		case sig.Variadic() && i >= params.Len()-1:
+			sl, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = sl.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isInterface(at) || !isInterface(pt) {
+			continue
+		}
+		// Word-sized reference types live directly in the interface data
+		// word — no allocation. This is what makes sync.Pool.Put/Get with
+		// *[]T pointers the sanctioned hot-path idiom.
+		switch at.Underlying().(type) {
+		case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+			continue
+		case *types.Basic:
+			if at.Underlying().(*types.Basic).Kind() == types.UntypedNil {
+				continue
+			}
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface inside %s; this allocates per call", where)
+	}
+}
+
+func isInterface(t types.Type) bool {
+	_, ok := t.Underlying().(*types.Interface)
+	return ok
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ParCapture flags the two data-race smells inside par.For / par.ForChunked
+// bodies. The primitives run the body concurrently on disjoint [lo, hi)
+// chunks, so the only safe writes are to chunk-local state or to shared
+// slices at indices derived from the chunk:
+//
+//  1. writes to captured variables (sum += ..., done = hi): every worker
+//     races on the same memory location;
+//  2. writes to captured slices at indices that involve no body-local
+//     variable (dst[0] = ..., dst[k] = ... with captured k): the index is
+//     the same for every worker, so chunks overlap.
+//
+// Reductions that are genuinely single-writer by construction carry a
+// //soilint:ignore parcapture with a justification.
+var ParCapture = &Analyzer{
+	Name: "parcapture",
+	Doc:  "flags par.For bodies that write to captured variables or index captured slices without any chunk-local variable",
+	Run:  runParCapture,
+}
+
+func runParCapture(pass *Pass) {
+	info := pass.Pkg.Info
+	inspectAll(pass.Pkg, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		body := parBody(info, call)
+		if body == nil {
+			return true
+		}
+		checkParBody(pass, body)
+		return true
+	})
+}
+
+func checkParBody(pass *Pass, lit *ast.FuncLit) {
+	local := func(obj types.Object) bool { return declaredWithin(obj, lit) }
+
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			if v != lit {
+				return false // nested closures (e.g. an inner par.For) get their own pass
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range v.Lhs {
+				checkWrite(pass, lhs, local, v.Tok)
+			}
+		case *ast.IncDecStmt:
+			checkWrite(pass, v.X, local, v.Tok)
+		}
+		return true
+	})
+}
+
+// checkWrite inspects one lvalue of an assignment inside a par body.
+func checkWrite(pass *Pass, lhs ast.Expr, local func(types.Object) bool, tok token.Token) {
+	info := pass.Pkg.Info
+	switch v := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if tok == token.DEFINE {
+			return // := declares a body-local variable
+		}
+		obj := info.Uses[v]
+		vr, ok := obj.(*types.Var)
+		if !ok || local(vr) || vr.IsField() {
+			return
+		}
+		pass.Reportf(lhs.Pos(), "write to captured variable %q inside par body; every worker races on it — make it chunk-local and reduce after the loop", v.Name)
+	case *ast.IndexExpr:
+		root := rootIdent(v.X)
+		if root == nil {
+			return
+		}
+		obj, ok := info.Uses[root].(*types.Var)
+		if !ok || local(obj) {
+			return // body-local scratch: safe by construction
+		}
+		if !indexUsesLocal(info, v.Index, local) {
+			pass.Reportf(lhs.Pos(), "captured %q indexed without any chunk-local variable inside par body; all workers write the same element", root.Name)
+		}
+	}
+}
+
+// indexUsesLocal reports whether the index expression references at least
+// one variable declared inside the par body (the lo/hi parameters or a loop
+// variable derived from them), which is what makes per-worker writes land
+// on disjoint elements.
+func indexUsesLocal(info *types.Info, index ast.Expr, local func(types.Object) bool) bool {
+	found := false
+	ast.Inspect(index, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if vr, ok := info.Uses[id].(*types.Var); ok && local(vr) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

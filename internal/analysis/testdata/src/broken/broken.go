@@ -1,0 +1,5 @@
+// Fixture: deliberately malformed file; the loader must fail the package
+// load with a syntax error, not panic or silently skip.
+package broken
+
+func missingBody( {

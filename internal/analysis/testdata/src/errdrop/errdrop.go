@@ -1,0 +1,38 @@
+// Fixture for the errdrop analyzer: discarded communicator errors.
+package errdrop
+
+import "soifft/internal/mpi"
+
+// drops demonstrates every discard form the analyzer flags.
+func drops(c mpi.Comm, data []complex128) {
+	c.Send(1, 0, data)  // line 8: true positive (bare statement)
+	_ = mpi.Barrier(c)  // line 9: true positive (_ = call)
+	go c.Send(2, 0, data) // line 10: true positive (go statement)
+	buf, _, _ := c.Recv(0, 0) // line 11: true positive (error position blank)
+	_ = buf
+	defer c.Send(3, 0, data) // line 13: true positive (deferred non-Close)
+}
+
+// deferredClose is the sanctioned teardown idiom: no finding.
+func deferredClose(c mpi.Comm) {
+	defer c.Close()
+}
+
+// handled propagates everything: no finding.
+func handled(c mpi.Comm, data []complex128) error {
+	if err := c.Send(1, 0, data); err != nil {
+		return err
+	}
+	buf, src, err := c.Recv(0, 0)
+	if err != nil {
+		return err
+	}
+	_, _ = buf, src
+	return mpi.Barrier(c)
+}
+
+// suppressedDrop carries a justified directive: suppressed.
+func suppressedDrop(c mpi.Comm) {
+	//soilint:ignore errdrop fixture: best-effort barrier on shutdown
+	_ = mpi.Barrier(c) // line 36: suppressed by line 35
+}

@@ -1,0 +1,30 @@
+// Fixture for hotalloc's kernel-loop rule: the import path ends in
+// internal/fft, so plain loops are hot.
+package fft
+
+// scale allocates per iteration in a kernel loop: flagged.
+func scale(dst []complex128) []complex128 {
+	for i := range dst {
+		tmp := make([]complex128, 1) // line 8: true positive (kernel loop make)
+		tmp[0] = dst[i] * 2
+		dst[i] = tmp[0]
+	}
+	return dst
+}
+
+// NewTwiddles is plan construction (New* prefix): exempt, no finding.
+func NewTwiddles(n int) [][]complex128 {
+	out := make([][]complex128, n)
+	for i := range out {
+		out[i] = make([]complex128, n)
+	}
+	return out
+}
+
+// suppressedScale carries a justified directive: suppressed.
+func suppressedScale(dst []complex128) {
+	for i := range dst {
+		tmp := make([]complex128, 1) //soilint:ignore hotalloc fixture: trailing-directive form
+		dst[i] = tmp[0]
+	}
+}

@@ -1,0 +1,62 @@
+// Fixture for the hotalloc analyzer: allocations inside par.For bodies.
+package hotalloc
+
+import "soifft/internal/par"
+
+// perWorkerAlloc allocates inside the parallel body: flagged.
+func perWorkerAlloc(dst []complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		buf := make([]complex128, 8) // line 9: true positive (make)
+		for i := lo; i < hi; i++ {
+			dst[i] = buf[i%8]
+		}
+	})
+}
+
+// growing appends inside the body: flagged.
+func growing(dst [][]complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = append(dst[i], complex(float64(i), 0)) // line 20: true positive (append)
+		}
+	})
+}
+
+// literal builds a slice literal per element: flagged.
+func literal(dst [][]float64, n int) {
+	par.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = []float64{1, 2, 3} // line 29: true positive (composite literal)
+		}
+	})
+}
+
+// boxed passes a concrete value to an interface parameter: flagged.
+func boxed(sink func(...any), dst []complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sink(real(dst[i])) // line 38: true positive (boxing)
+		}
+	})
+}
+
+// suppressedAlloc carries a justified ignore directive: reported as
+// suppressed, not active.
+func suppressedAlloc(dst []complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		//soilint:ignore hotalloc fixture: per-worker scratch is amortized here
+		buf := make([]complex128, 8) // line 47: suppressed by line 46
+		for i := lo; i < hi; i++ {
+			dst[i] = buf[i%8]
+		}
+	})
+}
+
+// clean preallocates outside and only indexes inside: no finding.
+func clean(dst, scratch []complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dst[i] = scratch[i]
+		}
+	})
+}

@@ -1,0 +1,59 @@
+// Fixture for the parcapture analyzer: data-race smells in par bodies.
+package parcapture
+
+import "soifft/internal/par"
+
+// racyReduce accumulates into a captured scalar: flagged.
+func racyReduce(xs []float64, n int) float64 {
+	var sum float64
+	par.For(0, n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum += xs[i] // line 11: true positive (captured scalar write)
+		}
+	})
+	return sum
+}
+
+// racyIndex writes a captured slice at a chunk-independent index: flagged.
+func racyIndex(dst []complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		dst[0] = complex(float64(hi), 0) // safe index var on RHS only: line 20 true positive
+	})
+}
+
+// racyCapturedIndex indexes with a variable captured from outside: flagged.
+func racyCapturedIndex(dst []complex128, k, n int) {
+	par.For(0, n, func(lo, hi int) {
+		dst[k] = 1 // line 27: true positive (captured index variable)
+	})
+}
+
+// clean writes only chunk-derived indices and body-locals: no finding.
+func clean(dst []complex128, n int) {
+	par.ForChunked(0, n, 64, func(lo, hi int) {
+		acc := complex(0, 0)
+		for i := lo; i < hi; i++ {
+			acc += dst[i]
+			dst[i] = acc
+		}
+	})
+}
+
+// wrongCheckDirective names a different check in its directive, so the
+// parcapture finding stays active.
+func wrongCheckDirective(dst []complex128, n int) {
+	par.For(0, n, func(lo, hi int) {
+		//soilint:ignore hotalloc wrong check name: must not suppress parcapture
+		dst[0] = 9 // true positive (directive names another check)
+	})
+}
+
+// suppressedWrite carries a justified directive: suppressed.
+func suppressedWrite(n int) int {
+	done := 0
+	par.ForChunked(0, n, n, func(lo, hi int) {
+		//soilint:ignore parcapture fixture: single chunk, single writer by construction
+		done = hi // line 46: suppressed by line 45
+	})
+	return done
+}

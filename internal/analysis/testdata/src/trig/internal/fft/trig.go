@@ -1,0 +1,45 @@
+// Fixture for the twiddleloop analyzer: the import path ends in
+// internal/fft, so loops here are kernel loops.
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// modulate computes a twiddle per element with cmplx.Exp: flagged.
+func modulate(dst []complex128, n int) {
+	for k := 0; k < n; k++ {
+		dst[k] = cmplx.Exp(complex(0, float64(k))) // line 13: true positive (direct trig)
+	}
+}
+
+// expi is the canonical local wrapper around math.Sincos.
+func expi(theta float64) complex128 {
+	s, c := math.Sincos(theta)
+	return complex(c, s)
+}
+
+// viaWrapper calls the wrapper per element: flagged one hop deep.
+func viaWrapper(dst []complex128) {
+	for i := range dst {
+		dst[i] = expi(float64(i)) // line 25: true positive (wrapper)
+	}
+}
+
+// newChirpTable is table construction (new* prefix): exempt, no finding.
+func newChirpTable(n int) []complex128 {
+	t := make([]complex128, n)
+	for j := range t {
+		t[j] = expi(-math.Pi * float64(j*j%(2*n)) / float64(n))
+	}
+	return t
+}
+
+// suppressedSite carries a justified directive: suppressed.
+func suppressedSite(dst []complex128) {
+	for i := range dst {
+		//soilint:ignore twiddleloop fixture: irregular angles, no table possible
+		dst[i] = cmplx.Exp(complex(0, math.Sqrt(float64(i)))) // line 42: suppressed by line 41
+	}
+}

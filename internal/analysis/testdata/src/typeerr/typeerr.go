@@ -1,0 +1,10 @@
+// Fixture: parses fine but fails type checking (undefined identifiers and
+// a bad import). The loader must still produce a Package with syntax and
+// record the errors in TypeErrors.
+package typeerr
+
+import "soifft/internal/nosuchpkg"
+
+func useUndefined() int {
+	return undefinedIdent + nosuchpkg.Thing
+}

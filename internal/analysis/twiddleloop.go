@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// kernelPkgSuffixes are the transform-execution packages where per-element
+// trigonometry is a bug: the paper precomputes every twiddle factor and
+// window coefficient into tables (internal/fft/twiddle.go, internal/window)
+// precisely because a sin/cos per element turns a bandwidth-bound kernel
+// into a libm benchmark. internal/window itself is the table builder and is
+// deliberately out of scope.
+var kernelPkgSuffixes = []string{"internal/fft", "internal/conv", "internal/cvec", "internal/dist", "internal/soi"}
+
+// trigCallNames maps package path -> flagged function names.
+var trigCallNames = map[string]map[string]bool{
+	"math":       {"Sin": true, "Cos": true, "Sincos": true},
+	"math/cmplx": {"Exp": true},
+}
+
+// TwiddleLoop flags trigonometric twiddle generation inside loops of kernel
+// packages: direct calls to math.Sin/Cos/Sincos and cmplx.Exp, and — one
+// call deep — package-local wrappers (the expi/twiddle idiom) whose body
+// calls one of those. Plan-construction and table-building functions are
+// exempt (see isPrecomputeFunc): tables must be built somewhere.
+var TwiddleLoop = &Analyzer{
+	Name: "twiddleloop",
+	Doc:  "flags math.Sin/Cos/Sincos and cmplx.Exp (or local wrappers of them) inside kernel-package loops; use a precomputed table",
+	Run:  runTwiddleLoop,
+}
+
+func runTwiddleLoop(pass *Pass) {
+	if !pathHasSuffix(pass.Pkg.Path, kernelPkgSuffixes...) {
+		return
+	}
+	info := pass.Pkg.Info
+	wrappers := trigWrappers(pass.Pkg)
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch v := n.(type) {
+			case *ast.ForStmt:
+				body = v.Body
+			case *ast.RangeStmt:
+				body = v.Body
+			default:
+				return true
+			}
+			if isPrecomputeFunc(enclosingFuncName(file, n)) {
+				return true
+			}
+			ast.Inspect(body, func(m ast.Node) bool {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				f := calleeFunc(info, call)
+				if f == nil {
+					return true
+				}
+				if isTrigFunc(f) {
+					pass.Reportf(call.Pos(), "%s inside a kernel loop; precompute a twiddle/window table instead", calleeLabel(f))
+				} else if wrappers[f] {
+					pass.Reportf(call.Pos(), "%s computes trigonometry per call inside a kernel loop; precompute a twiddle/window table instead", calleeLabel(f))
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+func isTrigFunc(f *types.Func) bool {
+	names := trigCallNames[pkgPathOf(f)]
+	return names != nil && names[f.Name()]
+}
+
+// trigWrappers collects the package-local functions whose body directly
+// calls a trig function — the near-universal expi(theta) idiom. One hop is
+// enough in practice; deeper chains go through twiddleTable-style builders
+// that the precompute exemption already covers.
+func trigWrappers(pkg *Package) map[*types.Func]bool {
+	wrappers := make(map[*types.Func]bool)
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if f := calleeFunc(pkg.Info, call); f != nil && isTrigFunc(f) {
+					wrappers[obj] = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	return wrappers
+}

@@ -137,9 +137,9 @@ func applyInterchange(f *window.Filter, u, x []complex128, c0, c1, workers int) 
 	par.For(workers, s, func(jlo, jhi int) {
 		// Per-lane compact taps: laneTaps[a][bb] = Taps[a][bb*s+j]. This is
 		// the constant nmu*B working set of the decomposed form.
-		laneTaps := make([][]complex128, nmu)
+		laneTaps := make([][]complex128, nmu) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
 		for a := range laneTaps {
-			laneTaps[a] = make([]complex128, b)
+			laneTaps[a] = make([]complex128, b) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
 		}
 		for j := jlo; j < jhi; j++ {
 			for a := 0; a < nmu; a++ {
@@ -177,11 +177,11 @@ func applyBuffered(f *window.Filter, u, x []complex128, c0, c1, workers int) {
 	nmu, dmu, b := f.NMu, f.DMu, f.B
 	nchunks := c1 - c0
 	par.For(workers, s, func(jlo, jhi int) {
-		laneTaps := make([][]complex128, nmu)
+		laneTaps := make([][]complex128, nmu) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
 		for a := range laneTaps {
-			laneTaps[a] = make([]complex128, b)
+			laneTaps[a] = make([]complex128, b) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
 		}
-		ring := make([]complex128, b)
+		ring := make([]complex128, b) //soilint:ignore hotalloc per-worker ring buffer, allocated once per worker
 		for j := jlo; j < jhi; j++ {
 			for a := 0; a < nmu; a++ {
 				src := f.Taps[a]

@@ -33,14 +33,14 @@ func ApplySoA(f *window.Filter, u, x cvec.SoA, c0, c1, workers int) {
 	nchunks := c1 - c0
 	par.For(workers, s, func(jlo, jhi int) {
 		// Per-lane taps, split into planes.
-		tapsRe := make([][]float64, nmu)
-		tapsIm := make([][]float64, nmu)
+		tapsRe := make([][]float64, nmu) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
+		tapsIm := make([][]float64, nmu) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
 		for a := range tapsRe {
-			tapsRe[a] = make([]float64, b)
-			tapsIm[a] = make([]float64, b)
+			tapsRe[a] = make([]float64, b) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
+			tapsIm[a] = make([]float64, b) //soilint:ignore hotalloc per-worker scratch: one make per worker, amortized over the whole lane range
 		}
-		ringRe := make([]float64, b)
-		ringIm := make([]float64, b)
+		ringRe := make([]float64, b) //soilint:ignore hotalloc per-worker ring buffer, allocated once per worker
+		ringIm := make([]float64, b) //soilint:ignore hotalloc per-worker ring buffer, allocated once per worker
 		for j := jlo; j < jhi; j++ {
 			for a := 0; a < nmu; a++ {
 				src := f.Taps[a]

@@ -59,8 +59,8 @@ func (b *Batch) TransformStrided(dst, src []complex128, count int, dir Direction
 		panic("fft: TransformStrided buffers too short")
 	}
 	par.For(b.workers, count, func(lo, hi int) {
-		in := make([]complex128, n)
-		out := make([]complex128, n)
+		in := make([]complex128, n) //soilint:ignore hotalloc deliberate slow baseline: strided access is what sixstep.go is measured against
+		out := make([]complex128, n) //soilint:ignore hotalloc deliberate slow baseline: strided access is what sixstep.go is measured against
 		for i := lo; i < hi; i++ {
 			for j := 0; j < n; j++ {
 				in[j] = src[i+j*count]

@@ -97,7 +97,7 @@ func factorize(n int) (radices []int, smooth bool) {
 		n /= 2
 	}
 	for ; e2 >= 3; e2 -= 3 {
-		radices = append(radices, 8)
+		radices = append(radices, 8) //soilint:ignore hotalloc plan-time factorization, O(log n) appends
 	}
 	switch e2 {
 	case 2:
@@ -107,7 +107,7 @@ func factorize(n int) (radices []int, smooth bool) {
 	}
 	for _, r := range []int{3, 5, 7, 11, 13} {
 		for n%r == 0 {
-			radices = append(radices, r)
+			radices = append(radices, r) //soilint:ignore hotalloc plan-time factorization, O(log n) appends
 			n /= r
 		}
 	}

@@ -100,6 +100,11 @@ type SixStep struct {
 	sub *SixStep // fine-grain: cooperative plan for single rows of length n2
 
 	work sync.Pool // scratch of length n
+	// Per-chunk staging buffers for the fused passes. Pooled so the hot
+	// par.For bodies never allocate: a fresh make per chunk costs a page
+	// fault per tile and defeats the bandwidth model (soilint:hotalloc).
+	tilePool sync.Pool // length tileCols*(n1+rowPad), column pass
+	rowPool  sync.Pool // length (n2+rowPad)*tileCols, row pass
 }
 
 // NewSixStep builds a 6-step plan for length n with the given variant.
@@ -129,6 +134,14 @@ func NewSixStep(n int, variant Variant, workers int) (*SixStep, error) {
 	s := &SixStep{n: n, n1: n1, n2: n2, p1: p1, p2: p2, variant: variant, workers: workers}
 	s.work.New = func() any {
 		b := make([]complex128, n)
+		return &b
+	}
+	s.tilePool.New = func() any {
+		b := make([]complex128, tileCols*(n1+rowPad))
+		return &b
+	}
+	s.rowPool.New = func() any {
+		b := make([]complex128, (n2+rowPad)*tileCols)
 		return &b
 	}
 	if variant == SixStepNaive {
@@ -282,10 +295,11 @@ func (s *SixStep) forwardOpt(dst, src []complex128) {
 	ntiles := (s.n2 + tileCols - 1) / tileCols
 	if s.variant == SixStepOpt {
 		par.ForChunked(s.workers, ntiles, 8, func(lo, hi int) {
-			buf := make([]complex128, tileCols*(s.n1+rowPad))
+			bp := s.tilePool.Get().(*[]complex128)
 			for t := lo; t < hi; t++ {
-				s.columnTile(w, src, t, buf)
+				s.columnTile(w, src, t, *bp)
 			}
+			s.tilePool.Put(bp)
 		})
 	} else {
 		s.columnPassPipelined(w, src, ntiles)
@@ -299,8 +313,9 @@ func (s *SixStep) forwardOpt(dst, src []complex128) {
 	// so the permuted writeback emits full cache lines (8 consecutive k1
 	// values share each k2 line of dst).
 	par.ForChunked(s.workers, s.n1, tileCols, func(lo, hi int) {
-		rbuf := make([]complex128, (s.n2+rowPad)*tileCols)
-		s.rowGroupFFTScatter(dst, w, lo, hi, rbuf)
+		rp := s.rowPool.Get().(*[]complex128)
+		s.rowGroupFFTScatter(dst, w, lo, hi, *rp)
+		s.rowPool.Put(rp)
 	})
 }
 
@@ -440,9 +455,13 @@ func (s *SixStep) columnPassPipelined(w, src []complex128, ntiles int) {
 		tile int
 		buf  []complex128
 	}
+	// Prime the pipeline from the tile pool: after the first transform the
+	// staging buffers are warm and no allocation happens per call.
 	free := make(chan []complex128, loaders+workers+2)
-	for i := 0; i < cap(free); i++ {
-		free <- make([]complex128, tileCols*(s.n1+rowPad))
+	pooled := make([]*[]complex128, cap(free))
+	for i := range pooled {
+		pooled[i] = s.tilePool.Get().(*[]complex128)
+		free <- *pooled[i]
 	}
 	ready := make(chan staged, cap(free))
 
@@ -480,6 +499,12 @@ func (s *SixStep) columnPassPipelined(w, src []complex128, ntiles int) {
 		}()
 	}
 	compWG.Wait()
+	// Both teams have drained, so every backing array is idle again; the
+	// headers in pooled still reference them all. Return them for the next
+	// transform.
+	for _, bp := range pooled {
+		s.tilePool.Put(bp)
+	}
 }
 
 // rowPassFineGrain processes rows sequentially but lets every worker

@@ -3,6 +3,7 @@ package mpi
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -61,14 +62,12 @@ func ConnectTCP(rank, size int, ln net.Listener, addrs []string) (*TCPNode, erro
 	for peer := 0; peer < rank; peer++ {
 		conn, err := net.Dial("tcp", addrs[peer])
 		if err != nil {
-			n.Close()
-			return nil, fmt.Errorf("mpi: rank %d dialing rank %d: %w", rank, peer, err)
+			return nil, errors.Join(fmt.Errorf("mpi: rank %d dialing rank %d: %w", rank, peer, err), n.Close())
 		}
 		var hello [4]byte
 		binary.BigEndian.PutUint32(hello[:], uint32(rank))
 		if _, err := conn.Write(hello[:]); err != nil {
-			n.Close()
-			return nil, err
+			return nil, errors.Join(err, n.Close())
 		}
 		n.conns[peer] = conn
 	}
@@ -76,19 +75,16 @@ func ConnectTCP(rank, size int, ln net.Listener, addrs []string) (*TCPNode, erro
 	for accepted := 0; accepted < size-1-rank; accepted++ {
 		conn, err := ln.Accept()
 		if err != nil {
-			n.Close()
-			return nil, err
+			return nil, errors.Join(err, n.Close())
 		}
 		var hello [4]byte
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
-			n.Close()
-			return nil, err
+			return nil, errors.Join(err, n.Close())
 		}
 		peer := int(binary.BigEndian.Uint32(hello[:]))
 		if peer <= rank || peer >= size || n.conns[peer] != nil {
 			conn.Close()
-			n.Close()
-			return nil, fmt.Errorf("mpi: rank %d got invalid hello from %d", rank, peer)
+			return nil, errors.Join(fmt.Errorf("mpi: rank %d got invalid hello from %d", rank, peer), n.Close())
 		}
 		n.conns[peer] = conn
 	}

@@ -1,0 +1,73 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForChunkedDisjointHammer is the race-gate regression test: it hammers
+// ForChunked with bodies that write every index of their chunk into a
+// shared slice without synchronization. If the dispatcher ever handed two
+// workers overlapping [lo, hi) chunks, the unsynchronized writes would
+// collide on an element and `go test -race ./internal/par` (the tier-2 gate
+// in scripts/check.sh) would flag it. The atomic total independently proves
+// every index is visited exactly once — no chunk dropped, none duplicated.
+func TestForChunkedDisjointHammer(t *testing.T) {
+	const iters = 200
+	for it := 0; it < iters; it++ {
+		// Mix of awkward sizes: chunk not dividing n, more workers than
+		// chunks, chunk of 1, single chunk covering everything.
+		cases := []struct{ workers, n, chunk int }{
+			{8, 1000, 7},
+			{16, 64, 1},
+			{4, 97, 100},
+			{32, 33, 3},
+		}
+		for _, c := range cases {
+			marks := make([]int32, c.n)
+			var total int64
+			ForChunked(c.workers, c.n, c.chunk, func(lo, hi int) {
+				if lo < 0 || hi > c.n || lo >= hi {
+					t.Errorf("bad chunk [%d,%d) for n=%d", lo, hi, c.n)
+				}
+				if hi-lo > c.chunk {
+					t.Errorf("chunk [%d,%d) exceeds size %d", lo, hi, c.chunk)
+				}
+				for i := lo; i < hi; i++ {
+					marks[i]++ // unsynchronized on purpose: overlap = race
+				}
+				atomic.AddInt64(&total, int64(hi-lo))
+			})
+			if total != int64(c.n) {
+				t.Fatalf("workers=%d n=%d chunk=%d: covered %d indices, want %d",
+					c.workers, c.n, c.chunk, total, c.n)
+			}
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("index %d visited %d times, want exactly once", i, m)
+				}
+			}
+		}
+	}
+}
+
+// TestForDisjointHammer applies the same overlap probe to the static split
+// of For: contiguous per-worker chunks must partition [0, n) exactly.
+func TestForDisjointHammer(t *testing.T) {
+	const iters = 200
+	for it := 0; it < iters; it++ {
+		for _, c := range []struct{ workers, n int }{{8, 1000}, {7, 97}, {64, 63}, {3, 1}} {
+			marks := make([]int32, c.n)
+			For(c.workers, c.n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					marks[i]++ // unsynchronized on purpose: overlap = race
+				}
+			})
+			for i, m := range marks {
+				if m != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", c.workers, c.n, i, m)
+				}
+			}
+		}
+	}
+}

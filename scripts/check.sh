@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-2 pre-PR gate: build, vet, repo-native static analysis, and the
+# race-clean concurrency gate over the packages that spawn goroutines.
+# Tier-1 (go build ./... && go test ./...) must of course also pass; this
+# script layers the discipline checks on top.
+#
+# Run from anywhere inside the repo:
+#
+#   ./scripts/check.sh
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== soilint ./..."
+go run ./cmd/soilint ./...
+
+echo "== go test -race (concurrency gate)"
+go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist
+
+echo "check.sh: all gates green"
