@@ -10,7 +10,9 @@
 // Packages default to ./... relative to the enclosing module root. Exit
 // status: 0 clean, 1 findings, 2 usage or load failure. Findings are
 // suppressed line-by-line with a justified "//soilint:ignore <check>"
-// comment on the offending line or the line above.
+// comment on the offending line or the line above, or file-wide with
+// "//soilint:file-ignore <check> -- <reason>" at the top of the file (the
+// reason is mandatory).
 package main
 
 import (

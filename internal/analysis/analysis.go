@@ -6,16 +6,28 @@
 // (errdrop), and parallel-for bodies must not race on captured state
 // (parcapture).
 //
+// On top of the syntactic tier sits a small CFG/dataflow core (cfg.go) and
+// three flow-aware analyzers: collectives must not be control-dependent on
+// Rank() and constant Send/Recv tags must pair up (mpiorder), out-of-place
+// kernels must get disjoint buffers and zero-copy-sent slices must not be
+// mutated in flight (bufalias), and a stored communicator error must be
+// observed on every path to return (errflow).
+//
 // The framework is standard-library only (go/ast, go/parser, go/token,
 // go/types): a Loader that parses and type-checks module packages, an
-// Analyzer interface with position-carrying Diagnostics, and a
-// line-targeted suppression directive:
+// Analyzer interface with position-carrying Diagnostics, and two
+// suppression directives:
 //
 //	//soilint:ignore <check>[,<check>...] [justification]
 //
-// placed on the offending line or the line directly above it. Suppressed
-// findings are reported separately so the CLI can surface them with -v
-// without failing the build.
+// placed on the offending line or the line directly above it, and
+//
+//	//soilint:file-ignore <check>[,<check>...] -- <reason>
+//
+// conventionally at the top of a file, suppressing the named checks for the
+// whole file (the reason after "--" is mandatory; a file-ignore without one
+// is not recognized). Suppressed findings are reported separately so the
+// CLI can surface them with -v without failing the build.
 package analysis
 
 import (
@@ -68,7 +80,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 }
 
 // All lists every registered analyzer in stable order.
-var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture}
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow}
 
 // ByName resolves a comma-separated check list ("hotalloc,errdrop") against
 // the registry; the empty string selects all analyzers.
@@ -92,31 +104,53 @@ func ByName(list string) ([]*Analyzer, error) {
 	return out, nil
 }
 
-// ignoreDirective is the comment prefix that suppresses findings.
-const ignoreDirective = "soilint:ignore"
+// ignoreDirective is the comment prefix that suppresses findings on one
+// line; fileIgnoreDirective suppresses a check for a whole file.
+const (
+	ignoreDirective     = "soilint:ignore"
+	fileIgnoreDirective = "soilint:file-ignore"
+)
 
-// suppressions maps file -> line -> set of suppressed check names for one
-// package. A directive suppresses findings of the named checks on its own
-// line and on the line directly below it (i.e. it may trail the offending
-// statement or sit on its own line above it).
-type suppressions map[string]map[int]map[string]bool
+// suppressions records, for one package, which findings are covered by a
+// directive: byLine maps file -> line -> set of suppressed check names; a
+// line directive covers its own line and the line directly below it (i.e.
+// it may trail the offending statement or sit on its own line above it).
+// byFile maps file -> set of file-wide suppressed checks.
+type suppressions struct {
+	byLine map[string]map[int]map[string]bool
+	byFile map[string]map[string]bool
+}
 
-// collectSuppressions scans every comment of the package for ignore
-// directives.
+// collectSuppressions scans every comment of the package for ignore and
+// file-ignore directives.
 func collectSuppressions(pkg *Package) suppressions {
-	sup := make(suppressions)
+	sup := suppressions{
+		byLine: make(map[string]map[int]map[string]bool),
+		byFile: make(map[string]map[string]bool),
+	}
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
+				pos := pkg.Fset.Position(c.Pos())
+				if checks, ok := parseFileIgnore(c.Text); ok {
+					set := sup.byFile[pos.Filename]
+					if set == nil {
+						set = make(map[string]bool)
+						sup.byFile[pos.Filename] = set
+					}
+					for _, ch := range checks {
+						set[ch] = true
+					}
+					continue
+				}
 				checks, ok := parseIgnore(c.Text)
 				if !ok {
 					continue
 				}
-				pos := pkg.Fset.Position(c.Pos())
-				byLine := sup[pos.Filename]
+				byLine := sup.byLine[pos.Filename]
 				if byLine == nil {
 					byLine = make(map[int]map[string]bool)
-					sup[pos.Filename] = byLine
+					sup.byLine[pos.Filename] = byLine
 				}
 				for _, line := range []int{pos.Line, pos.Line + 1} {
 					set := byLine[line]
@@ -162,9 +196,42 @@ func parseIgnore(text string) ([]string, bool) {
 	return checks, len(checks) > 0
 }
 
-// suppressed reports whether d is covered by a directive.
+// parseFileIgnore extracts the check names from one comment, if it is a
+// file-ignore directive. Grammar: "//soilint:file-ignore check1[,check2...]
+// -- reason". The "-- reason" part is mandatory: a file-wide waiver with no
+// recorded justification is not recognized as a directive at all.
+func parseFileIgnore(text string) ([]string, bool) {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimPrefix(text, "/*")
+	text = strings.TrimSuffix(text, "*/")
+	text = strings.TrimSpace(text)
+	rest, ok := strings.CutPrefix(text, fileIgnoreDirective)
+	if !ok {
+		return nil, false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return nil, false
+	}
+	spec, reason, found := strings.Cut(rest, "--")
+	if !found || strings.TrimSpace(reason) == "" {
+		return nil, false
+	}
+	fields := strings.Fields(spec)
+	if len(fields) == 0 {
+		return nil, false
+	}
+	var checks []string
+	for _, c := range strings.Split(fields[0], ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			checks = append(checks, c)
+		}
+	}
+	return checks, len(checks) > 0
+}
+
+// suppressed reports whether d is covered by a line or file directive.
 func (s suppressions) suppressed(d Diagnostic) bool {
-	return s[d.File][d.Line][d.Check]
+	return s.byLine[d.File][d.Line][d.Check] || s.byFile[d.File][d.Check]
 }
 
 // Run applies the analyzers to pkg and splits the findings into active and

@@ -74,6 +74,41 @@ func TestAnalyzersGolden(t *testing.T) {
 			wantActive:     []int{11, 20, 27, 47},
 			wantSuppressed: []int{56},
 		},
+		{
+			name:           "mpiorder",
+			dir:            fixtureDir("mpiorder"),
+			analyzer:       MPIOrder,
+			wantActive:     []int{12, 18, 24, 32, 35},
+			wantSuppressed: []int{82},
+		},
+		{
+			name:           "errflow",
+			dir:            fixtureDir("errflow"),
+			analyzer:       ErrFlow,
+			wantActive:     []int{14, 24},
+			wantSuppressed: []int{72},
+		},
+		{
+			name:           "bufalias",
+			dir:            fixtureDir("bufalias"),
+			analyzer:       BufAlias,
+			wantActive:     []int{19, 24, 29, 34, 54, 61, 73},
+			wantSuppressed: []int{93},
+		},
+		{
+			name:           "file-ignore suppresses named check",
+			dir:            fixtureDir("fileignore"),
+			analyzer:       ErrDrop,
+			wantActive:     nil,
+			wantSuppressed: []int{12, 13, 14},
+		},
+		{
+			name:           "file-ignore leaves other checks live",
+			dir:            fixtureDir("fileignore"),
+			analyzer:       ErrFlow,
+			wantActive:     []int{20},
+			wantSuppressed: nil,
+		},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -165,8 +200,8 @@ func TestParseIgnore(t *testing.T) {
 		{"// soilint:ignore hotalloc justified because reasons", []string{"hotalloc"}},
 		{"//soilint:ignore hotalloc,errdrop shared justification", []string{"hotalloc", "errdrop"}},
 		{"/*soilint:ignore parcapture*/", []string{"parcapture"}},
-		{"//soilint:ignore", nil},          // no checks named
-		{"// just a comment", nil},         // not a directive
+		{"//soilint:ignore", nil},           // no checks named
+		{"// just a comment", nil},          // not a directive
 		{"//soilint:ignored hotalloc", nil}, // wrong directive word
 	}
 	for _, tt := range tests {
@@ -184,6 +219,42 @@ func TestParseIgnore(t *testing.T) {
 		for i := range got {
 			if got[i] != tt.want[i] {
 				t.Errorf("parseIgnore(%q)[%d] = %q, want %q", tt.text, i, got[i], tt.want[i])
+			}
+		}
+	}
+}
+
+// TestParseFileIgnore covers the file-scoped directive grammar, in
+// particular that the "-- reason" part is mandatory.
+func TestParseFileIgnore(t *testing.T) {
+	tests := []struct {
+		text string
+		want []string
+	}{
+		{"//soilint:file-ignore errdrop -- generated file", []string{"errdrop"}},
+		{"// soilint:file-ignore errdrop,hotalloc -- shared reason", []string{"errdrop", "hotalloc"}},
+		{"/*soilint:file-ignore bufalias -- reason*/", []string{"bufalias"}},
+		{"//soilint:file-ignore errdrop", nil},        // missing -- reason
+		{"//soilint:file-ignore errdrop --", nil},     // empty reason
+		{"//soilint:file-ignore -- reason only", nil}, // no checks named
+		{"//soilint:ignore errdrop -- reason", nil},   // wrong directive word
+		{"//soilint:file-ignored errdrop -- x", nil},  // not this directive
+	}
+	for _, tt := range tests {
+		got, ok := parseFileIgnore(tt.text)
+		if tt.want == nil {
+			if ok {
+				t.Errorf("parseFileIgnore(%q) = %v, want no directive", tt.text, got)
+			}
+			continue
+		}
+		if !ok || len(got) != len(tt.want) {
+			t.Errorf("parseFileIgnore(%q) = %v, %v; want %v", tt.text, got, ok, tt.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseFileIgnore(%q)[%d] = %q, want %q", tt.text, i, got[i], tt.want[i])
 			}
 		}
 	}

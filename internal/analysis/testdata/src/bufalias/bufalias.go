@@ -1,0 +1,94 @@
+// Fixture for the bufalias analyzer: aliased dst/src arguments to
+// out-of-place kernels, and mutation of slices loaned to a zero-copy
+// transport.
+package bufalias
+
+import (
+	raw "soifft/internal/analysis/testdata/src/bufalias/internal/mpi"
+	"soifft/internal/conv"
+	"soifft/internal/dist"
+	"soifft/internal/fft"
+	"soifft/internal/mpi"
+	"soifft/internal/window"
+)
+
+// aliasedForward passes one backing array as both dst and src, through a
+// local alias.
+func aliasedForward(s *fft.SixStep, x []complex128) {
+	y := x
+	s.Forward(y, x) // line 19: true positive (y aliases x)
+}
+
+// overlapForward slices the same array into overlapping constant ranges.
+func overlapForward(s *fft.SixStep, x []complex128) {
+	s.Forward(x[:8], x[4:12]) // line 24: true positive (ranges overlap)
+}
+
+// aliasedCT hands the distributed transform the same buffer twice.
+func aliasedCT(ct *dist.CT, buf []complex128) error {
+	return ct.Forward(buf, buf) // line 29: true positive
+}
+
+// aliasedConv repeats a buffer into the disjoint u/x pair.
+func aliasedConv(f *window.Filter, u []complex128) {
+	conv.ApplyDense(f, u, u, 0, 1) // line 34: true positive
+}
+
+// disjointHalves splits one array into provably disjoint constant ranges:
+// clean.
+func disjointHalves(s *fft.SixStep, x []complex128) {
+	s.Forward(x[:8], x[8:])
+}
+
+// freshDst allocates the destination: clean.
+func freshDst(s *fft.SixStep, x []complex128) {
+	dst := make([]complex128, len(x))
+	s.Forward(dst, x)
+}
+
+// mutatedAfterSend writes to a buffer a zero-copy transport still holds.
+func mutatedAfterSend(r *raw.RawComm, buf []complex128) {
+	if err := r.Send(1, 0, buf); err != nil {
+		return
+	}
+	buf[0] = 0 // line 54: true positive (in-flight mutation)
+}
+
+// pipelined mutates the loaned buffer on the NEXT loop iteration — only
+// visible through the CFG back edge.
+func pipelined(r *raw.RawComm, buf []complex128) {
+	for i := 0; i < 4; i++ {
+		buf[0] = complex(float64(i), 0) // line 61: true positive (back edge)
+		if err := r.Send(1, 0, buf); err != nil {
+			return
+		}
+	}
+}
+
+// copiedInto overwrites the loaned buffer with copy().
+func copiedInto(r *raw.RawComm, buf, next []complex128) {
+	if err := r.Send(1, 0, buf); err != nil {
+		return
+	}
+	copy(buf, next) // line 73: true positive
+}
+
+// interfaceSend goes through the mpi.Comm interface, whose contract says
+// the payload is copied: mutating afterwards is clean.
+func interfaceSend(c mpi.Comm, buf []complex128) {
+	if err := c.Send(1, 0, buf); err != nil {
+		return
+	}
+	buf[0] = 0
+}
+
+// sendOnly loans the buffer and never touches it again: clean.
+func sendOnly(r *raw.RawComm, buf []complex128) error {
+	return r.Send(1, 0, buf)
+}
+
+// suppressedInPlace carries a justified directive: suppressed, not active.
+func suppressedInPlace(s *fft.SixStep, x []complex128) {
+	//soilint:ignore bufalias fixture: deliberate aliased call to document the suppression path
+	s.Forward(x, x) // line 93: suppressed by line 92
+}

@@ -1,0 +1,20 @@
+// Package mpi is a fixture-local transport for the bufalias analyzer. Its
+// import path ends in internal/mpi, so the analyzer treats it as the real
+// communicator package — but RawComm.Send retains the caller's slice
+// instead of copying it, making it the zero-copy transport the retention
+// check exists for.
+package mpi
+
+// RawComm is a zero-copy transport: Send enqueues the caller's slice
+// directly, so the caller must not mutate it until delivery.
+type RawComm struct {
+	queue [][]complex128
+}
+
+// Send retains data without copying.
+func (r *RawComm) Send(dst, tag int, data []complex128) error {
+	_ = dst
+	_ = tag
+	r.queue = append(r.queue, data)
+	return nil
+}

@@ -1,0 +1,76 @@
+// Fixture for the errflow analyzer: stored communicator errors that can
+// die unobserved on some path.
+package errflow
+
+import (
+	"log"
+
+	"soifft/internal/mpi"
+)
+
+// droppedOnPath stores the Send error but only observes it when verbose:
+// the quiet path returns nil with the error unread.
+func droppedOnPath(c mpi.Comm, data []complex128, verbose bool) error {
+	err := c.Send(1, 0, data) // line 14: true positive (dropped when !verbose)
+	if verbose {
+		log.Println(err)
+	}
+	return nil
+}
+
+// overwritten kills the first error before any read: the Send failure is
+// unobservable even though the variable is eventually returned.
+func overwritten(c mpi.Comm, data []complex128) error {
+	err := c.Send(1, 0, data) // line 24: true positive (overwritten unread)
+	err = mpi.Barrier(c)
+	return err
+}
+
+// handled observes the error on every path: clean.
+func handled(c mpi.Comm, data []complex128) error {
+	err := c.Send(1, 0, data)
+	if err != nil {
+		return err
+	}
+	buf, _, err2 := c.Recv(0, 0)
+	if err2 != nil {
+		return err2
+	}
+	_ = buf
+	return nil
+}
+
+// accumulated is the keep-first-error loop idiom: every assignment is read
+// by the condition guarding it. Clean.
+func accumulated(c mpi.Comm, blocks [][]complex128) error {
+	var firstErr error
+	for i, b := range blocks {
+		err := c.Send(i, 1, b)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// captured hands the error to a channel inside a composite literal — the
+// exchangeAndFinish shape in internal/dist/soi.go. Clean.
+func captured(c mpi.Comm, send [][]complex128, results chan<- struct {
+	blocks [][]complex128
+	err    error
+}) {
+	recv, err := mpi.AllToAll(c, send)
+	results <- struct {
+		blocks [][]complex128
+		err    error
+	}{blocks: recv, err: err}
+}
+
+// suppressedDrop carries a justified directive: suppressed, not active.
+func suppressedDrop(c mpi.Comm, data []complex128, verbose bool) {
+	//soilint:ignore errflow fixture: best-effort send, error surfaced only in verbose tracing
+	err := c.Send(1, 0, data) // line 72: suppressed by line 71
+	if verbose {
+		log.Println(err)
+	}
+}

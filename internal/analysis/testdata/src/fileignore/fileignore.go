@@ -1,0 +1,24 @@
+// Fixture for file-scoped suppression: one directive at the top of the
+// file waives errdrop for every finding below, with a recorded reason.
+//
+//soilint:file-ignore errdrop -- fixture: generated-style file, errors audited in bulk
+package fileignore
+
+import "soifft/internal/mpi"
+
+// drops would produce three errdrop findings; the file-ignore turns all of
+// them into suppressed findings without per-line pragmas.
+func drops(c mpi.Comm, data []complex128) {
+	c.Send(1, 0, data)
+	_ = mpi.Barrier(c)
+	go c.Send(2, 0, data)
+}
+
+// stillChecked shows other checks stay live: errflow is NOT named by the
+// directive, so a dropped stored error in this file is still active.
+func stillChecked(c mpi.Comm, data []complex128, verbose bool) {
+	err := c.Send(1, 0, data)
+	if verbose {
+		_ = err
+	}
+}

@@ -1,0 +1,85 @@
+// Fixture for the mpiorder analyzer: rank-conditional collectives and
+// constant-tag Send/Recv mismatches.
+package mpiorder
+
+import "soifft/internal/mpi"
+
+// rankGated shows the classic deadlock shapes: collectives guarded by
+// conditions derived from Rank(), directly and through dataflow.
+func rankGated(c mpi.Comm, data []complex128) error {
+	rank := c.Rank()
+	if rank == 0 {
+		if err := mpi.Barrier(c); err != nil { // line 12: true positive (direct guard)
+			return err
+		}
+	}
+	leader := rank == 0 // taint flows rank -> leader
+	if leader {
+		if _, err := mpi.Gather(c, 0, data); err != nil { // line 18: true positive (tainted guard)
+			return err
+		}
+	}
+	switch rank {
+	case 1:
+		return mpi.Barrier(c) // line 24: true positive (tainted switch tag)
+	}
+	return nil
+}
+
+// tagMismatch sends with a constant tag no Recv in this function matches,
+// and receives on a tag no Send carries: both directions undeliverable.
+func tagMismatch(c mpi.Comm, data []complex128) ([]complex128, error) {
+	if err := c.Send(1, 3, data); err != nil { // line 32: true positive (no Recv with tag 3)
+		return nil, err
+	}
+	buf, _, err := c.Recv(0, 4) // line 35: true positive (no Send with tag 4)
+	return buf, err
+}
+
+// cleanShift is the paper's communication shape: rank used arithmetically
+// to pick peers, every collective entered unconditionally. No findings.
+func cleanShift(c mpi.Comm, data []complex128) ([]complex128, error) {
+	to := (c.Rank() + 1) % c.Size()
+	from := (c.Rank() + c.Size() - 1) % c.Size()
+	got, err := mpi.SendRecv(c, to, data, from, 7)
+	if err != nil {
+		return nil, err
+	}
+	if err := mpi.Barrier(c); err != nil {
+		return nil, err
+	}
+	return got, nil
+}
+
+// cleanTags pairs every constant tag: no findings.
+func cleanTags(c mpi.Comm, data []complex128) error {
+	if err := c.Send(1, 5, data); err != nil {
+		return err
+	}
+	buf, _, err := c.Recv(0, 5)
+	_ = buf
+	return err
+}
+
+// computedTags uses a loop-dependent tag: the analyzer cannot disprove a
+// match and stays silent.
+func computedTags(c mpi.Comm, data []complex128) error {
+	for j := 0; j < 4; j++ {
+		if err := c.Send(1, 100+j, data); err != nil {
+			return err
+		}
+		if _, _, err := c.Recv(0, 200+j); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// suppressedGate carries a justified directive: suppressed, not active.
+func suppressedGate(c mpi.Comm) error {
+	if c.Rank() == 0 {
+		//soilint:ignore mpiorder fixture: rank-0-only barrier kept as a suppression example
+		return mpi.Barrier(c) // line 82: suppressed by line 81
+	}
+	return nil
+}

@@ -1,0 +1,58 @@
+// Regression counterexamples for mpiorder, mirroring the real-tree shapes
+// in internal/dist/redistribute.go and internal/mpi/collectives.go that the
+// analyzer must keep reporting as clean (satellite check: the survey of
+// internal/cluster/hybrid.go and internal/dist/redistribute.go surfaced no
+// true findings, so the clean shapes are pinned here instead).
+package mpiorder
+
+import "soifft/internal/mpi"
+
+// redistributeShape is the internal/dist/redistribute.go pattern: rank is
+// used arithmetically to route blocks, and the collective is entered by
+// every rank unconditionally. Must stay clean — flagging this would force a
+// suppression onto the repo's central data-movement path.
+func redistributeShape(c mpi.Comm, data []complex128) ([]complex128, error) {
+	p := c.Size()
+	rank := c.Rank()
+	per := len(data) / p
+	send := make([][]complex128, p)
+	for dest := 0; dest < p; dest++ {
+		block := make([]complex128, per)
+		for i := range block {
+			block[i] = data[(i*p+dest+rank)%len(data)] // rank routes data, not control
+		}
+		send[dest] = block
+	}
+	recv, err := mpi.AllToAll(c, send) // unconditional: every rank arrives here
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, len(data))
+	for _, b := range recv {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// bcastShape is the internal/mpi/collectives.go pattern: rank-conditional
+// POINT-TO-POINT Send/Recv is how the collectives themselves are built and
+// is correct — only rank-conditional collectives deadlock. The computed
+// tags keep the tag matcher silent, as in the real binomial trees.
+func bcastShape(c mpi.Comm, root int, data []complex128) ([]complex128, error) {
+	rank := c.Rank()
+	if rank == root {
+		for dst := 0; dst < c.Size(); dst++ {
+			if dst == rank {
+				continue
+			}
+			if err := c.Send(dst, tagBase+dst, data); err != nil { // p2p under rank guard: clean
+				return nil, err
+			}
+		}
+		return data, nil
+	}
+	buf, _, err := c.Recv(root, tagBase+rank) // p2p under rank guard: clean
+	return buf, err
+}
+
+const tagBase = 500

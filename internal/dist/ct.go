@@ -80,7 +80,9 @@ func expi(theta float64) complex128 {
 func (ct *CT) LocalN() int { return ct.m }
 
 // Forward computes this rank's block of the in-order spectrum from its
-// block of the input.
+// block of the input. dst must not alias src: rows are streamed out of src
+// while dst fills in transposed order (soilint's bufalias check enforces
+// this at call sites).
 func (ct *CT) Forward(dst, src []complex128) error {
 	if len(src) < ct.m || len(dst) < ct.m {
 		return fmt.Errorf("dist: CT buffers too short: need %d", ct.m)

@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"soifft/internal/cvec"
 	"soifft/internal/mpi"
@@ -71,6 +74,61 @@ func TestRedistributeValidation(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRedistributeRankLengthMismatch: each rank's local length is divisible
+// by the world size (so per-rank validation passes), but the lengths
+// DISAGREE across ranks — the exchanged blocks then have the wrong size and
+// the post-exchange length check must reject them on every rank instead of
+// silently mis-assembling the vector.
+func TestRedistributeRankLengthMismatch(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    func(mpi.Comm, []complex128) ([]complex128, error)
+	}{
+		{"BlockToCyclic", BlockToCyclic},
+		{"CyclicToBlock", CyclicToBlock},
+	} {
+		err := mpi.Run(2, func(c mpi.Comm) error {
+			localN := 4 * (c.Rank() + 1) // 4 on rank 0, 8 on rank 1
+			_, err := tc.f(c, make([]complex128, localN))
+			if err == nil {
+				return fmt.Errorf("%s: mismatched per-rank lengths accepted on rank %d", tc.name, c.Rank())
+			}
+			if !strings.Contains(err.Error(), "redistribution block") {
+				return fmt.Errorf("%s: rank %d got %v, want the block-size mismatch error", tc.name, c.Rank(), err)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestRedistributeClosedWorld closes the world while rank 0 is blocked in
+// the all-to-all (rank 1 never shows up): the redistribution must surface
+// mpi.ErrClosed promptly rather than hang the exchange forever.
+func TestRedistributeClosedWorld(t *testing.T) {
+	w, err := mpi.NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := BlockToCyclic(w.Comm(0), make([]complex128, 8))
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // let rank 0 block waiting on rank 1
+	w.Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, mpi.ErrClosed) {
+			t.Fatalf("closed-world redistribute: err = %v, want mpi.ErrClosed", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("redistribute did not return after world close; the exchange is hung")
 	}
 }
 

@@ -99,7 +99,10 @@ const (
 )
 
 // Forward computes this rank's block of the in-order spectrum: src is the
-// rank's N/P input elements, dst receives its N/P output elements.
+// rank's N/P input elements, dst receives its N/P output elements. dst
+// must not alias src: the pipelined finish writes dst while ghost rows of
+// src may still be read (soilint's bufalias check enforces this at call
+// sites).
 func (d *SOI) Forward(dst, src []complex128) error {
 	p := d.plan.Win.Params
 	if len(src) < d.localN || len(dst) < d.localN {
@@ -129,6 +132,7 @@ func (d *SOI) Forward(dst, src []complex128) error {
 // Inverse computes this rank's block of the normalized inverse DFT via the
 // conjugation identity IFFT(x) = conj(SOI(conj(x)))/N. The conjugations are
 // purely rank-local, so the distributed structure is identical to Forward.
+// Like Forward, dst must not alias src.
 func (d *SOI) Inverse(dst, src []complex128) error {
 	if len(src) < d.localN || len(dst) < d.localN {
 		return fmt.Errorf("dist: buffers too short: need %d", d.localN)

@@ -1,25 +1,44 @@
 #!/bin/sh
-# Tier-2 pre-PR gate: build, vet, repo-native static analysis, and the
-# race-clean concurrency gate over the packages that spawn goroutines.
-# Tier-1 (go build ./... && go test ./...) must of course also pass; this
-# script layers the discipline checks on top.
+# Tier-2 pre-PR gate: build, vet, repo-native static analysis, the
+# compiler escape-budget gate on the hot kernels, and the race-clean
+# concurrency gate over the packages that spawn goroutines. Tier-1
+# (go build ./... && go test ./...) must of course also pass; this script
+# layers the discipline checks on top.
+#
+# Every gate runs even if an earlier one fails, so one CI run reports all
+# broken gates; each gate prints its wall-clock time, and the script exits
+# nonzero at the end if any gate failed.
 #
 # Run from anywhere inside the repo:
 #
 #   ./scripts/check.sh
-set -e
-cd "$(dirname "$0")/.."
+cd "$(dirname "$0")/.." || exit 2
 
-echo "== go build ./..."
-go build ./...
+failures=""
 
-echo "== go vet ./..."
-go vet ./...
+run_gate() {
+    name="$1"
+    shift
+    echo "== $name"
+    start=$(date +%s)
+    if "$@"; then
+        status="ok"
+    else
+        status="FAIL"
+        failures="$failures '$name'"
+    fi
+    end=$(date +%s)
+    echo "-- $name: $status ($((end - start))s)"
+}
 
-echo "== soilint ./..."
-go run ./cmd/soilint ./...
+run_gate "go build ./..." go build ./...
+run_gate "go vet ./..." go vet ./...
+run_gate "soilint ./..." go run ./cmd/soilint ./...
+run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
+run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist
 
-echo "== go test -race (concurrency gate)"
-go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist
-
+if [ -n "$failures" ]; then
+    echo "check.sh: FAILED gates:$failures"
+    exit 1
+fi
 echo "check.sh: all gates green"
