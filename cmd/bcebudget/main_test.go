@@ -1,0 +1,97 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"soifft/internal/gcbudget"
+)
+
+// TestGateAgainstTree runs the real gate end to end: the checked-in budget
+// must pass, and a budget with one hot function's entry removed — exactly
+// what the tree looks like when a fresh bounds check appears in an
+// unbudgeted function — must fail with exit code 1. This is the test that
+// proves scripts/check.sh fails on an unbudgeted bounds check.
+func TestGateAgainstTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go build over the hot packages; skipped with -short")
+	}
+	var discard strings.Builder
+	if code := run(nil, &discard, &discard); code != 0 {
+		t.Fatalf("gate against checked-in budget: exit %d, output:\n%s", code, discard.String())
+	}
+
+	root, err := gcbudget.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget, err := gcbudget.ReadBudget(filepath.Join(root, "bce_budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	removed := false
+	for pkg, byFn := range budget {
+		for fn := range byFn {
+			delete(budget[pkg], fn)
+			removed = true
+			break
+		}
+		if removed {
+			break
+		}
+	}
+	if !removed {
+		t.Fatal("checked-in budget is empty; the gate would be vacuous")
+	}
+	data, err := json.MarshalIndent(budget, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := filepath.Join(t.TempDir(), "budget.json")
+	if err := os.WriteFile(tampered, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	if code := run([]string{"-budget", tampered}, &out, &out); code != 1 {
+		t.Fatalf("gate against tampered budget: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no budget entry") {
+		t.Errorf("tampered-budget failure should name the unbudgeted function; got:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "bounds check(s)") {
+		t.Errorf("failure should name the budgeted quantity; got:\n%s", out.String())
+	}
+}
+
+// TestHoistedKernelsStayHoisted pins the BCE wins of the reslice hoists:
+// the hot pointwise kernels must keep their accumulation loops free of
+// per-iteration checks. Their budget entries are the one-time preamble
+// slice checks only — if a per-element check reappears, the count rises
+// above these ceilings and this test (and the gate) fails.
+func TestHoistedKernelsStayHoisted(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs go build over the hot packages; skipped with -short")
+	}
+	root, err := gcbudget.ModuleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checks, err := gcbudget.Collect(root, bceFlag, []string{"./internal/cvec"}, isBoundsCheck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := gcbudget.CountByFunc(root, checks)
+	ceilings := map[string]int{
+		"PointwiseMul":     2, // the two reslice preamble checks
+		"PointwiseMulConj": 2,
+		"AXPY":             1,
+	}
+	for fn, max := range ceilings {
+		if got := counts["soifft/internal/cvec"][fn]; got > max {
+			t.Errorf("cvec.%s has %d surviving bounds checks, want <= %d (per-iteration check crept back into the loop?)", fn, got, max)
+		}
+	}
+}

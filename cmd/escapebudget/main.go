@@ -18,36 +18,39 @@
 //
 //	escapebudget [-budget escape_budget.json] [-update] [-v] [packages...]
 //
-// With no packages, the four hot packages are audited. -update rewrites the
+// With no packages, the six hot packages are audited. -update rewrites the
 // budget file to match the current tree (use after deliberate changes,
 // reviewing the diff). Exit codes: 0 within budget, 1 over budget, 2 usage
 // or toolchain failure.
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"io"
 	"os"
-	"os/exec"
 	"path/filepath"
-	"regexp"
-	"sort"
-	"strconv"
 	"strings"
+
+	"soifft/internal/gcbudget"
 )
 
 // hotPackages are the audited kernels: the paper's bandwidth-bound compute
-// paths, where PR 1 removed hot-loop allocations.
+// paths (where PR 1 removed hot-loop allocations) plus the single-node and
+// distributed pipeline drivers that orchestrate them per transform.
 var hotPackages = []string{
 	"./internal/fft",
 	"./internal/conv",
 	"./internal/cvec",
 	"./internal/window",
+	"./internal/soi",
+	"./internal/dist",
+}
+
+// isEscape keeps the escape-analysis verdicts out of the -m -m chatter
+// (inlining decisions, parameter leak classifications, ...).
+func isEscape(msg string) bool {
+	return strings.Contains(msg, "escapes to heap") || strings.Contains(msg, "moved to heap")
 }
 
 func main() {
@@ -73,22 +76,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pkgs = hotPackages
 	}
 
-	root, err := moduleRoot()
+	root, err := gcbudget.ModuleRoot()
 	if err != nil {
 		fmt.Fprintf(stderr, "escapebudget: %v\n", err)
 		return 2
 	}
 
-	escapes, err := collectEscapes(root, pkgs)
+	escapes, err := gcbudget.Collect(root, "-m -m", pkgs, isEscape)
 	if err != nil {
 		fmt.Fprintf(stderr, "escapebudget: %v\n", err)
 		return 2
 	}
-	counts := countByFunc(root, escapes)
+	counts := gcbudget.CountByFunc(root, escapes)
 
 	if *verbose {
 		for _, e := range escapes {
-			fmt.Fprintf(stdout, "%s: %s:%d:%d: %s\n", e.pkg, e.file, e.line, e.col, e.msg)
+			fmt.Fprintf(stdout, "%s: %s:%d:%d: %s\n", e.Pkg, e.File, e.Line, e.Col, e.Msg)
 		}
 	}
 
@@ -97,7 +100,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		path = filepath.Join(root, path)
 	}
 	if *update {
-		if err := writeBudget(path, counts); err != nil {
+		if err := gcbudget.WriteBudget(path, counts); err != nil {
 			fmt.Fprintf(stderr, "escapebudget: %v\n", err)
 			return 2
 		}
@@ -105,12 +108,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	budget, err := readBudget(path)
+	budget, err := gcbudget.ReadBudget(path)
 	if err != nil {
 		fmt.Fprintf(stderr, "escapebudget: %v (run with -update to create it)\n", err)
 		return 2
 	}
-	problems, notes := diffBudget(counts, budget)
+	problems, notes := gcbudget.DiffBudget(counts, budget, "heap escape(s)")
 	for _, n := range notes {
 		fmt.Fprintf(stdout, "escapebudget: note: %s\n", n)
 	}
@@ -123,222 +126,4 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "escapebudget: ok (%d escape sites within budget across %d packages)\n", len(escapes), len(counts))
 	return 0
-}
-
-// moduleRoot locates the directory containing go.mod, so the tool works
-// from any subdirectory (tests run it from cmd/escapebudget).
-func moduleRoot() (string, error) {
-	out, err := exec.Command("go", "env", "GOMOD").Output()
-	if err != nil {
-		return "", fmt.Errorf("go env GOMOD: %v", err)
-	}
-	gomod := strings.TrimSpace(string(out))
-	if gomod == "" || gomod == os.DevNull {
-		return "", fmt.Errorf("not inside a Go module")
-	}
-	return filepath.Dir(gomod), nil
-}
-
-// escapeSite is one parsed heap-escape diagnostic.
-type escapeSite struct {
-	pkg  string // import path from the "# pkg" header
-	file string // path as printed by the compiler, relative to the module root
-	line int
-	col  int
-	msg  string
-}
-
-// collectEscapes builds the packages with -m -m and parses the escape
-// diagnostics. The go build cache replays compiler diagnostics on cached
-// builds, so repeated runs are fast and deterministic.
-func collectEscapes(root string, pkgs []string) ([]escapeSite, error) {
-	cmd := exec.Command("go", append([]string{"build", "-gcflags=-m -m"}, pkgs...)...)
-	cmd.Dir = root
-	var errBuf strings.Builder
-	cmd.Stderr = &errBuf
-	if err := cmd.Run(); err != nil {
-		return nil, fmt.Errorf("go build -gcflags='-m -m' %s: %v\n%s", strings.Join(pkgs, " "), err, errBuf.String())
-	}
-	return parseEscapes(errBuf.String()), nil
-}
-
-// diagRe matches one compiler diagnostic line: file:line:col: message.
-var diagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
-
-// parseEscapes extracts the heap-escape sites from a -m -m transcript.
-// Under -m -m the compiler prints each escape twice (once with a trailing
-// colon introducing the flow trace, once without), so sites are
-// de-duplicated on (file, line, col, message).
-func parseEscapes(transcript string) []escapeSite {
-	var out []escapeSite
-	seen := make(map[escapeSite]bool)
-	pkg := ""
-	for _, ln := range strings.Split(transcript, "\n") {
-		if strings.HasPrefix(ln, "# ") {
-			pkg = strings.TrimSpace(strings.TrimPrefix(ln, "# "))
-			continue
-		}
-		m := diagRe.FindStringSubmatch(ln)
-		if m == nil {
-			continue
-		}
-		msg := strings.TrimSuffix(strings.TrimSpace(m[4]), ":")
-		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
-			continue
-		}
-		if strings.HasPrefix(m[1], "<autogenerated>") {
-			continue
-		}
-		line, _ := strconv.Atoi(m[2])
-		col, _ := strconv.Atoi(m[3])
-		site := escapeSite{pkg: pkg, file: filepath.ToSlash(m[1]), line: line, col: col, msg: msg}
-		if !seen[site] {
-			seen[site] = true
-			out = append(out, site)
-		}
-	}
-	return out
-}
-
-// countByFunc attributes each escape to its enclosing function and counts
-// per (package, function). Parsed files are cached across sites.
-func countByFunc(root string, escapes []escapeSite) map[string]map[string]int {
-	counts := make(map[string]map[string]int)
-	files := make(map[string]*fileFuncs)
-	for _, e := range escapes {
-		ff := files[e.file]
-		if ff == nil {
-			ff = parseFileFuncs(filepath.Join(root, filepath.FromSlash(e.file)))
-			files[e.file] = ff
-		}
-		fn := ff.funcForLine(e.line)
-		byFn := counts[e.pkg]
-		if byFn == nil {
-			byFn = make(map[string]int)
-			counts[e.pkg] = byFn
-		}
-		byFn[fn]++
-	}
-	return counts
-}
-
-// fileFuncs maps line ranges of one source file to function names.
-type fileFuncs struct {
-	funcs []funcRange
-}
-
-type funcRange struct {
-	name       string
-	start, end int
-}
-
-// parseFileFuncs records the line span of every function declaration.
-// Parse errors yield an empty table; the sites then attribute to the file
-// scope, which still fails the gate rather than hiding the escape.
-func parseFileFuncs(path string) *fileFuncs {
-	ff := &fileFuncs{}
-	fset := token.NewFileSet()
-	f, err := parser.ParseFile(fset, path, nil, 0)
-	if err != nil {
-		return ff
-	}
-	for _, decl := range f.Decls {
-		fd, ok := decl.(*ast.FuncDecl)
-		if !ok {
-			continue
-		}
-		name := fd.Name.Name
-		if fd.Recv != nil && len(fd.Recv.List) > 0 {
-			name = recvTypeName(fd.Recv.List[0].Type) + "." + name
-		}
-		ff.funcs = append(ff.funcs, funcRange{
-			name:  name,
-			start: fset.Position(fd.Pos()).Line,
-			end:   fset.Position(fd.End()).Line,
-		})
-	}
-	return ff
-}
-
-// recvTypeName renders a receiver type as its bare type name (stars and
-// generic brackets stripped).
-func recvTypeName(e ast.Expr) string {
-	switch v := e.(type) {
-	case *ast.StarExpr:
-		return recvTypeName(v.X)
-	case *ast.IndexExpr:
-		return recvTypeName(v.X)
-	case *ast.Ident:
-		return v.Name
-	}
-	return "?"
-}
-
-// funcForLine names the function containing line, or "(file scope)" for
-// escapes in package-level initializers.
-func (ff *fileFuncs) funcForLine(line int) string {
-	for _, fr := range ff.funcs {
-		if fr.start <= line && line <= fr.end {
-			return fr.name
-		}
-	}
-	return "(file scope)"
-}
-
-// diffBudget compares current counts to the budget. problems are gate
-// failures (new or excess escapes); notes are non-failing observations
-// (counts below budget, budget entries with no current escapes) suggesting
-// the budget can be tightened with -update.
-func diffBudget(counts, budget map[string]map[string]int) (problems, notes []string) {
-	for _, pkg := range sortedKeys(counts) {
-		for _, fn := range sortedKeys(counts[pkg]) {
-			got := counts[pkg][fn]
-			allowed, budgeted := budget[pkg][fn]
-			switch {
-			case !budgeted:
-				problems = append(problems, fmt.Sprintf("%s.%s: %d heap escape(s) in a function with no budget entry", pkg, fn, got))
-			case got > allowed:
-				problems = append(problems, fmt.Sprintf("%s.%s: %d heap escape(s), budget allows %d", pkg, fn, got, allowed))
-			case got < allowed:
-				notes = append(notes, fmt.Sprintf("%s.%s: %d escape(s), below budget %d — consider -update", pkg, fn, got, allowed))
-			}
-		}
-	}
-	for _, pkg := range sortedKeys(budget) {
-		for _, fn := range sortedKeys(budget[pkg]) {
-			if _, ok := counts[pkg][fn]; !ok {
-				notes = append(notes, fmt.Sprintf("%s.%s: budgeted %d but no escapes now — consider -update", pkg, fn, budget[pkg][fn]))
-			}
-		}
-	}
-	return problems, notes
-}
-
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
-}
-
-func readBudget(path string) (map[string]map[string]int, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var b map[string]map[string]int
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("%s: %v", path, err)
-	}
-	return b, nil
-}
-
-func writeBudget(path string, counts map[string]map[string]int) error {
-	data, err := json.MarshalIndent(counts, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -6,106 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"soifft/internal/gcbudget"
 )
-
-// sampleTranscript mimics `go build -gcflags='-m -m'` stderr: package
-// headers, duplicated escape lines (with and without the flow-trace colon),
-// inlining chatter, and an <autogenerated> line that must be skipped.
-const sampleTranscript = `# soifft/internal/fft
-internal/fft/plan.go:20:13: make([]complex128, n) escapes to heap:
-internal/fft/plan.go:20:13:   flow: {heap} = &{storage for make([]complex128, n)}:
-internal/fft/plan.go:20:13: make([]complex128, n) escapes to heap
-internal/fft/plan.go:31:6: can inline twiddle
-internal/fft/plan.go:44:2: moved to heap: acc
-<autogenerated>:1:0: leaking param: .this
-# soifft/internal/conv
-internal/conv/conv.go:9:10: new(big.Float) escapes to heap
-`
-
-func TestParseEscapes(t *testing.T) {
-	sites := parseEscapes(sampleTranscript)
-	if len(sites) != 3 {
-		t.Fatalf("parseEscapes: got %d sites, want 3: %+v", len(sites), sites)
-	}
-	want := []escapeSite{
-		{pkg: "soifft/internal/fft", file: "internal/fft/plan.go", line: 20, col: 13, msg: "make([]complex128, n) escapes to heap"},
-		{pkg: "soifft/internal/fft", file: "internal/fft/plan.go", line: 44, col: 2, msg: "moved to heap: acc"},
-		{pkg: "soifft/internal/conv", file: "internal/conv/conv.go", line: 9, col: 10, msg: "new(big.Float) escapes to heap"},
-	}
-	for i, w := range want {
-		if sites[i] != w {
-			t.Errorf("site[%d] = %+v, want %+v", i, sites[i], w)
-		}
-	}
-}
-
-func TestDiffBudget(t *testing.T) {
-	budget := map[string]map[string]int{
-		"p": {"Budgeted": 2, "Generous": 5, "Gone": 1},
-	}
-	counts := map[string]map[string]int{
-		"p": {
-			"Budgeted": 3, // one over budget: problem
-			"Generous": 4, // under budget: note only
-			"Fresh":    1, // no budget entry at all: problem
-		},
-	}
-	problems, notes := diffBudget(counts, budget)
-	if len(problems) != 2 {
-		t.Fatalf("problems = %v, want 2 entries", problems)
-	}
-	if !strings.Contains(problems[0], "Budgeted") || !strings.Contains(problems[0], "budget allows 2") {
-		t.Errorf("problems[0] = %q, want over-budget report for Budgeted", problems[0])
-	}
-	if !strings.Contains(problems[1], "Fresh") || !strings.Contains(problems[1], "no budget entry") {
-		t.Errorf("problems[1] = %q, want no-entry report for Fresh", problems[1])
-	}
-	var joined = strings.Join(notes, "\n")
-	if !strings.Contains(joined, "Generous") || !strings.Contains(joined, "Gone") {
-		t.Errorf("notes = %v, want under-budget note for Generous and stale note for Gone", notes)
-	}
-
-	// A tree exactly at budget raises nothing.
-	problems, notes = diffBudget(
-		map[string]map[string]int{"p": {"F": 2}},
-		map[string]map[string]int{"p": {"F": 2}},
-	)
-	if len(problems) != 0 || len(notes) != 0 {
-		t.Errorf("at-budget diff = %v / %v, want clean", problems, notes)
-	}
-}
-
-func TestFuncForLine(t *testing.T) {
-	dir := t.TempDir()
-	src := `package p
-
-func Plain() {
-	_ = 1
-}
-
-type T struct{}
-
-func (t *T) Method() {
-	_ = 2
-}
-
-var x = 3
-`
-	path := filepath.Join(dir, "f.go")
-	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	ff := parseFileFuncs(path)
-	if got := ff.funcForLine(4); got != "Plain" {
-		t.Errorf("funcForLine(4) = %q, want Plain", got)
-	}
-	if got := ff.funcForLine(10); got != "T.Method" {
-		t.Errorf("funcForLine(10) = %q, want T.Method", got)
-	}
-	if got := ff.funcForLine(13); got != "(file scope)" {
-		t.Errorf("funcForLine(13) = %q, want file scope", got)
-	}
-}
 
 // TestGateAgainstTree runs the real gate end to end: the checked-in budget
 // must pass, and a budget with one hot function's entry removed — exactly
@@ -120,11 +23,11 @@ func TestGateAgainstTree(t *testing.T) {
 		t.Fatalf("gate against checked-in budget: exit %d, output:\n%s", code, discard.String())
 	}
 
-	root, err := moduleRoot()
+	root, err := gcbudget.ModuleRoot()
 	if err != nil {
 		t.Fatal(err)
 	}
-	budget, err := readBudget(filepath.Join(root, "escape_budget.json"))
+	budget, err := gcbudget.ReadBudget(filepath.Join(root, "escape_budget.json"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,5 +59,21 @@ func TestGateAgainstTree(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "no budget entry") {
 		t.Errorf("tampered-budget failure should name the unbudgeted function; got:\n%s", out.String())
+	}
+}
+
+// TestWidenedCoverage pins the audited package set: the pipeline drivers
+// joined the kernel packages once their per-transform allocations were
+// pooled, so a new escape in internal/soi or internal/dist fails the gate
+// like one in internal/fft does.
+func TestWidenedCoverage(t *testing.T) {
+	want := []string{"fft", "conv", "cvec", "window", "soi", "dist"}
+	if len(hotPackages) != len(want) {
+		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
+	}
+	for i, suffix := range want {
+		if !strings.HasSuffix(hotPackages[i], suffix) {
+			t.Errorf("hotPackages[%d] = %q, want suffix %q", i, hotPackages[i], suffix)
+		}
 	}
 }

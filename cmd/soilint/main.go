@@ -5,14 +5,17 @@
 //
 // Usage:
 //
-//	soilint [-json] [-checks hotalloc,errdrop,...] [-v] [packages]
+//	soilint [-json] [-sarif] [-checks hotalloc,errdrop,...] [-v] [packages]
 //
 // Packages default to ./... relative to the enclosing module root. Exit
-// status: 0 clean, 1 findings, 2 usage or load failure. Findings are
-// suppressed line-by-line with a justified "//soilint:ignore <check>"
-// comment on the offending line or the line above, or file-wide with
-// "//soilint:file-ignore <check> -- <reason>" at the top of the file (the
-// reason is mandatory).
+// status: 0 clean, 1 findings, 2 usage or load failure. -sarif emits SARIF
+// 2.1.0 (for CI code-scanning upload) instead of the plain listing; like
+// -json it still exits 1 on findings. Findings are suppressed line-by-line
+// with a justified "//soilint:ignore <check>" comment on the offending line
+// or the line above, or file-wide with "//soilint:file-ignore <check> --
+// <reason>" at the top of the file (the reason is mandatory). Analyzer
+// notes (shapecheck's "unprovable" outcomes) are informational only and
+// print under -v.
 package main
 
 import (
@@ -32,10 +35,11 @@ func main() {
 
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
-	verbose := flag.Bool("v", false, "also list suppressed findings and type-check warnings")
+	verbose := flag.Bool("v", false, "also list suppressed findings, analyzer notes and type-check warnings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-checks list] [-v] [packages]\navailable checks:\n")
+		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-sarif] [-checks list] [-v] [packages]\navailable checks:\n")
 		for _, a := range analysis.All {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -67,21 +71,29 @@ func run() int {
 		return 2
 	}
 
-	active, suppressed := []analysis.Diagnostic{}, []analysis.Diagnostic{}
+	active, suppressed, notes := []analysis.Diagnostic{}, []analysis.Diagnostic{}, []analysis.Diagnostic{}
 	for _, pkg := range pkgs {
 		if *verbose {
 			for _, te := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "soilint: typecheck %s: %v\n", pkg.Path, te)
 			}
 		}
-		a, s := analysis.Run(pkg, analyzers)
+		a, s, n := analysis.Run(pkg, analyzers)
 		active = append(active, a...)
 		suppressed = append(suppressed, s...)
+		notes = append(notes, n...)
 	}
 	relativize(root, active)
 	relativize(root, suppressed)
+	relativize(root, notes)
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := writeSARIF(os.Stdout, analyzers, active); err != nil {
+			fmt.Fprintln(os.Stderr, "soilint:", err)
+			return 2
+		}
+	case *jsonOut:
 		out := struct {
 			Findings   []analysis.Diagnostic `json:"findings"`
 			Suppressed []analysis.Diagnostic `json:"suppressed"`
@@ -92,13 +104,16 @@ func run() int {
 			fmt.Fprintln(os.Stderr, "soilint:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range active {
 			fmt.Println(d)
 		}
 		if *verbose {
 			for _, d := range suppressed {
 				fmt.Printf("%s (suppressed)\n", d)
+			}
+			for _, d := range notes {
+				fmt.Printf("%s (note)\n", d)
 			}
 		}
 	}

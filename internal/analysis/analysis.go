@@ -65,22 +65,34 @@ type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
 	diags    []Diagnostic
+	notes    []Diagnostic
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, p.diagAt(pos, format, args...))
+}
+
+// Notef records an informational note at pos — shapecheck's "unprovable"
+// outcomes, for example. Notes never fail a run; the CLI prints them only
+// under -v.
+func (p *Pass) Notef(pos token.Pos, format string, args ...any) {
+	p.notes = append(p.notes, p.diagAt(pos, format, args...))
+}
+
+func (p *Pass) diagAt(pos token.Pos, format string, args ...any) Diagnostic {
 	position := p.Pkg.Fset.Position(pos)
-	p.diags = append(p.diags, Diagnostic{
+	return Diagnostic{
 		Check:   p.Analyzer.Name,
 		File:    position.Filename,
 		Line:    position.Line,
 		Col:     position.Column,
 		Message: fmt.Sprintf(format, args...),
-	})
+	}
 }
 
 // All lists every registered analyzer in stable order.
-var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow}
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck}
 
 // ByName resolves a comma-separated check list ("hotalloc,errdrop") against
 // the registry; the empty string selects all analyzers.
@@ -235,8 +247,9 @@ func (s suppressions) suppressed(d Diagnostic) bool {
 }
 
 // Run applies the analyzers to pkg and splits the findings into active and
-// suppressed, each sorted by position and de-duplicated.
-func Run(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagnostic) {
+// suppressed, each sorted by position and de-duplicated. The third result
+// carries informational notes (never gating, not subject to suppression).
+func Run(pkg *Package, analyzers []*Analyzer) (active, suppressed, notes []Diagnostic) {
 	sup := collectSuppressions(pkg)
 	seen := make(map[Diagnostic]bool)
 	for _, a := range analyzers {
@@ -253,10 +266,18 @@ func Run(pkg *Package, analyzers []*Analyzer) (active, suppressed []Diagnostic) 
 				active = append(active, d)
 			}
 		}
+		for _, d := range pass.notes {
+			if seen[d] {
+				continue
+			}
+			seen[d] = true
+			notes = append(notes, d)
+		}
 	}
 	sortDiags(active)
 	sortDiags(suppressed)
-	return active, suppressed
+	sortDiags(notes)
+	return active, suppressed, notes
 }
 
 func sortDiags(ds []Diagnostic) {

@@ -96,6 +96,18 @@ func TestAnalyzersGolden(t *testing.T) {
 			wantSuppressed: []int{93},
 		},
 		{
+			// Refuted calls (96, 99 twice, 102, 104), the interface-resolved
+			// refutation (138), and the two bad contract declarations
+			// (144 malformed, 149 unknown name). 112 is the same under-sized
+			// call as 96 under a //soilint:ignore. proven() and the good
+			// scatter stay silent.
+			name:           "shapecheck",
+			dir:            fixtureDir("shapecheck"),
+			analyzer:       ShapeCheck,
+			wantActive:     []int{96, 99, 102, 104, 138, 144, 149},
+			wantSuppressed: []int{112},
+		},
+		{
 			name:           "file-ignore suppresses named check",
 			dir:            fixtureDir("fileignore"),
 			analyzer:       ErrDrop,
@@ -119,7 +131,7 @@ func TestAnalyzersGolden(t *testing.T) {
 			if len(pkg.TypeErrors) > 0 {
 				t.Fatalf("fixture %s has type errors: %v", tt.dir, pkg.TypeErrors)
 			}
-			active, suppressed := Run(pkg, []*Analyzer{tt.analyzer})
+			active, suppressed, _ := Run(pkg, []*Analyzer{tt.analyzer})
 			checkLines(t, "active", active, tt.wantActive, tt.analyzer.Name)
 			checkLines(t, "suppressed", suppressed, tt.wantSuppressed, tt.analyzer.Name)
 		})
@@ -168,7 +180,7 @@ func TestRepoIsClean(t *testing.T) {
 		t.Fatalf("expected to load the whole module, got %d packages", len(pkgs))
 	}
 	for _, pkg := range pkgs {
-		active, _ := Run(pkg, All)
+		active, _, _ := Run(pkg, All)
 		for _, d := range active {
 			t.Errorf("unsuppressed finding: %s", d)
 		}

@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// buildTestCFG parses src as a function body, builds its CFG, and indexes
+// the registered marker calls (zero-argument calls like a(), b()) by name.
+func buildTestCFG(t *testing.T, body string) (*funcCFG, map[string]ast.Node) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[0].(*ast.FuncDecl)
+	g := buildCFG(fd.Body)
+	marks := make(map[string]ast.Node)
+	for n := range g.pos {
+		es, ok := n.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			continue
+		}
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			marks[id.Name] = n
+		}
+	}
+	return g, marks
+}
+
+// assertReach checks every "from->to:yes/no" reachability expectation.
+func assertReach(t *testing.T, g *funcCFG, marks map[string]ast.Node, want map[string]bool) {
+	t.Helper()
+	for edge, expect := range want {
+		parts := strings.SplitN(edge, "->", 2)
+		from, to := marks[parts[0]], marks[parts[1]]
+		if from == nil || to == nil {
+			t.Fatalf("marker missing for %q (have %v)", edge, markNames(marks))
+		}
+		if got := g.reachableAfter(from)(to); got != expect {
+			t.Errorf("reachableAfter(%s)(%s) = %v, want %v", parts[0], parts[1], got, expect)
+		}
+	}
+}
+
+func markNames(marks map[string]ast.Node) []string {
+	names := make([]string, 0, len(marks))
+	for n := range marks {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// dumpCFG renders the block graph deterministically: one "id[n nodes]->succ
+// ids" entry per block in construction order, with entry/exit tagged.
+func dumpCFG(g *funcCFG) string {
+	var sb strings.Builder
+	for i, b := range g.blocks {
+		if i > 0 {
+			sb.WriteString(" ")
+		}
+		tag := ""
+		if b == g.entry {
+			tag = "E"
+		}
+		if b == g.exit {
+			tag = "X"
+		}
+		ids := make([]int, len(b.succs))
+		for j, s := range b.succs {
+			ids[j] = s.id
+		}
+		fmt.Fprintf(&sb, "%d%s(%d)->%v", b.id, tag, len(b.nodes), ids)
+	}
+	return sb.String()
+}
+
+// TestCFGSwitchFallthrough: a fallthrough links its clause to the NEXT
+// clause body only — not to the join, and never to a sibling it does not
+// precede.
+func TestCFGSwitchFallthrough(t *testing.T) {
+	g, marks := buildTestCFG(t, `
+	switch v {
+	case 1:
+		a()
+		fallthrough
+	case 2:
+		b()
+	default:
+		c()
+	}
+	d()
+	`)
+	assertReach(t, g, marks, map[string]bool{
+		"a->b": true,  // fallthrough edge
+		"a->d": true,  // via case 2's fall-out to the join
+		"a->c": false, // fallthrough skips the default sibling
+		"b->a": false, // no backward edge between clauses
+		"b->d": true,
+		"c->d": true,
+		"d->a": false,
+	})
+	// Entry (holding the tag) fans out to the three clause blocks 3/4/5;
+	// clause 3 (case 1: the case expr, a(), fallthrough) edges to clause 4
+	// only; clauses 4 and 5 fall out to the join 2, which holds d() and
+	// runs to exit.
+	want := "0E(1)->[3 4 5] 1X(0)->[] 2(1)->[1] 3(3)->[4] 4(2)->[2] 5(1)->[2]"
+	if got := dumpCFG(g); got != want {
+		t.Errorf("dump:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCFGSwitchNoDefault: without a default clause the tag block edges
+// straight to the join, so code after the switch is reachable even if every
+// clause terminates.
+func TestCFGSwitchNoDefault(t *testing.T) {
+	g, marks := buildTestCFG(t, `
+	a()
+	switch v {
+	case 1:
+		return
+	}
+	d()
+	`)
+	assertReach(t, g, marks, map[string]bool{
+		"a->d": true,
+	})
+}
+
+// TestCFGSelect: each comm clause is a sibling branch into the shared join;
+// a break inside a clause targets the join, not an enclosing loop.
+func TestCFGSelect(t *testing.T) {
+	g, marks := buildTestCFG(t, `
+	for {
+		select {
+		case <-ch:
+			a()
+			break
+		case ch <- v:
+			b()
+		}
+		c()
+	}
+	d()
+	`)
+	assertReach(t, g, marks, map[string]bool{
+		"a->c": true, // break leaves the select, not the for loop
+		"a->b": true, // next loop iteration re-enters the select
+		"a->a": true, // loop back edge
+		"b->c": true,
+		"a->d": false, // for{} has no exit edge: d only via the dangling block
+		"c->a": true,
+	})
+	// The select join must have both clauses and the broken clause as preds.
+	if dump := dumpCFG(g); !strings.Contains(dump, "E") || !strings.Contains(dump, "X") {
+		t.Fatalf("dump misses entry/exit: %s", dump)
+	}
+}
+
+// TestCFGLabeledBranches: labeled continue targets the OUTER loop's post
+// block (a back edge from deep inside the inner loop), and labeled break
+// targets the outer loop's exit.
+func TestCFGLabeledBranches(t *testing.T) {
+	g, marks := buildTestCFG(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if p {
+				a()
+				continue outer
+			}
+			if q {
+				b()
+				break outer
+			}
+			c()
+		}
+	}
+	d()
+	`)
+	assertReach(t, g, marks, map[string]bool{
+		"a->c": true,  // continue outer -> post -> head -> inner body again
+		"a->a": true,  // the labeled back edge reaches itself next iteration
+		"a->d": true,  // outer condition can fail after the continue
+		"b->d": true,  // break outer lands after the loop
+		"b->c": false, // break leaves both loops: inner body unreachable
+		"b->a": false,
+		"c->a": true, // inner back edge
+		"d->a": false,
+	})
+}
+
+// TestCFGLabeledLoopUnlabeledBreak: an unlabeled break inside a labeled
+// loop still targets the innermost loop.
+func TestCFGLabeledLoopUnlabeledBreak(t *testing.T) {
+	g, marks := buildTestCFG(t, `
+outer:
+	for i := 0; i < n; i++ {
+		for {
+			if p {
+				a()
+				break
+			}
+		}
+		b()
+	}
+	d()
+	`)
+	_ = marks["outer"]
+	assertReach(t, g, marks, map[string]bool{
+		"a->b": true, // unlabeled break: inner loop only
+		"a->d": true,
+		"a->a": true, // outer iteration re-enters the inner loop
+		"b->a": true,
+	})
+	if g.exit.preds == 0 {
+		t.Error("exit unreachable: function fall-out edge missing")
+	}
+}
+
+// TestCFGForPostBackEdge: the post statement sits in its own block on the
+// back edge, so a node in the body reaches the condition again through it.
+func TestCFGForPostBackEdge(t *testing.T) {
+	g, marks := buildTestCFG(t, `
+	for i := 0; i < n; i++ {
+		a()
+		if p {
+			continue
+		}
+		b()
+	}
+	d()
+	`)
+	assertReach(t, g, marks, map[string]bool{
+		"a->a": true, // back edge through the post block
+		"a->b": true,
+		"b->a": true,
+		"a->d": true,
+		"d->a": false,
+	})
+}

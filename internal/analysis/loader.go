@@ -18,12 +18,13 @@ import (
 // errors still carries its syntax trees and whatever type information could
 // be computed, so analyzers degrade gracefully instead of going blind.
 type Package struct {
-	Path  string // import path, e.g. soifft/internal/fft
-	Dir   string // absolute directory
-	Fset  *token.FileSet
-	Files []*ast.File
-	Types *types.Package
-	Info  *types.Info
+	Path   string // import path, e.g. soifft/internal/fft
+	Dir    string // absolute directory
+	Module string // module path of the loader that produced the package
+	Fset   *token.FileSet
+	Files  []*ast.File
+	Types  *types.Package
+	Info   *types.Info
 	// TypeErrors holds every error the type checker reported for this
 	// package (not for its dependencies). Analyzers still run.
 	TypeErrors []error
@@ -155,7 +156,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 		files = append(files, f)
 	}
 
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset}
+	pkg := &Package{Path: path, Dir: dir, Module: l.Module, Fset: l.fset}
 	conf := types.Config{
 		Importer:    l,
 		FakeImportC: true,

@@ -33,7 +33,7 @@ func TestLoadTypeErrors(t *testing.T) {
 		t.Fatal("TypeErrors is empty, want the undefined-identifier and bad-import errors collected")
 	}
 	// Analyzers must degrade gracefully on partial type information.
-	active, suppressed := Run(pkg, All)
+	active, suppressed, _ := Run(pkg, All)
 	if len(active) != 0 || len(suppressed) != 0 {
 		t.Errorf("analyzers reported findings on fixture with no hot code: %v %v", active, suppressed)
 	}

@@ -1,0 +1,1672 @@
+package analysis
+
+// shapecheck is the interprocedural shape-contract analyzer. Functions
+// declare relations between the lengths and integer parameters they require
+// via //soilint:shape lines in their doc comments (grammar in shapeexpr.go):
+//
+//	//soilint:shape len(dst) >= localN
+//	//soilint:shape len(u) == (c1 - c0) * NMu * Segments
+//
+// Contracts that mention "return" are definitional: they describe the
+// callee's result for use by callers (accessor algebra like
+// "//soilint:shape return == N / Segments" on Params.M, or constructor
+// postconditions like "//soilint:shape return.localN == plan.Win.N /
+// c.Size()"). All other contracts are requirements, checked at every call
+// site: the analyzer evaluates both sides in the caller's symbolic
+// environment and proves the relation, refutes it (a finding), or reports
+// it as unprovable (a note, shown by the CLI under -v).
+//
+// The caller environment tracks, per variable (and per canonical field path
+// of a variable), a sequence of position-ordered "regions": each assignment
+// opens a region that may carry a known length polynomial (make, sub-slice,
+// composite literal, annotated constructor), a known integer value, or an
+// alias to another path. Conditional assignments (under if/for/select, or
+// inside closures) open opaque regions, so anything they touch degrades to
+// an unknown-but-stable atom instead of a wrong value. Atoms are stable per
+// (path, generation), which is what lets loop-dependent slices like
+// dst[f*m:(f+1)*m] cancel to m without knowing f.
+//
+// Soundness caveats, chosen deliberately and documented in DESIGN.md §7:
+// integer division is modeled as exact rational division (the SOI plan
+// constructors enforce every divisibility precondition at build time), all
+// atoms are assumed nonnegative (they denote lengths and counts), and
+// mutation through pointers held elsewhere (or from goroutines) is not
+// modeled — bufalias and the race gate cover those.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ShapeCheck verifies //soilint:shape contracts at every call site.
+var ShapeCheck = &Analyzer{
+	Name: "shapecheck",
+	Doc:  "call sites must satisfy the //soilint:shape length contracts of the callee",
+	Run:  runShapeCheck,
+}
+
+const shapeDirective = "soilint:shape"
+
+// funcContracts is the parsed contract set of one function declaration.
+type funcContracts struct {
+	def []*shapeContract // mention "return": definitional
+	req []*shapeContract // checked at call sites
+}
+
+// shapeFileCache caches the contract tables of parsed files, keyed by
+// filename then by "Recv.Name" or "Name". Cross-package lookups parse the
+// callee's file on demand (cheap: one file, no type checking), so the
+// analyzer stays interprocedural without loading whole dependency packages.
+var shapeFileCache = struct {
+	sync.Mutex
+	m map[string]map[string]*funcContracts
+}{m: make(map[string]map[string]*funcContracts)}
+
+// shapeContractLines splits a doc comment into candidate directive payloads.
+func shapeContractLines(doc *ast.CommentGroup) []string {
+	if doc == nil {
+		return nil
+	}
+	var out []string
+	for _, c := range doc.List {
+		for _, line := range strings.Split(c.Text, "\n") {
+			line = strings.TrimPrefix(line, "//")
+			line = strings.TrimPrefix(line, "/*")
+			line = strings.TrimSuffix(line, "*/")
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, shapeDirective); ok {
+				out = append(out, rest)
+			}
+		}
+	}
+	return out
+}
+
+// extractContracts parses every shape directive of a doc comment, splitting
+// definitional from requirement contracts. Malformed lines are returned as
+// error strings (reported only when the declaring package itself is
+// analyzed).
+func extractContracts(doc *ast.CommentGroup) (*funcContracts, []string) {
+	var fc *funcContracts
+	var errs []string
+	for _, rest := range shapeContractLines(doc) {
+		c, err := parseShapeContract(rest)
+		if err != nil {
+			errs = append(errs, fmt.Sprintf("%q: %v", strings.TrimSpace(rest), err))
+			continue
+		}
+		if fc == nil {
+			fc = &funcContracts{}
+		}
+		if c.mentionsReturn() {
+			fc.def = append(fc.def, c)
+		} else {
+			fc.req = append(fc.req, c)
+		}
+	}
+	return fc, errs
+}
+
+// astRecvTypeName returns the receiver base type name of a declaration.
+func astRecvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.ParenExpr:
+			t = x.X
+		case *ast.IndexExpr: // generic receiver
+			t = x.X
+		default:
+			if id, ok := t.(*ast.Ident); ok {
+				return id.Name
+			}
+			return ""
+		}
+	}
+}
+
+func shapeFuncKey(recv, name string) string {
+	if recv != "" {
+		return recv + "." + name
+	}
+	return name
+}
+
+// shapeContractsInFile parses filename (once, cached) and returns its
+// contract table.
+func shapeContractsInFile(filename string) map[string]*funcContracts {
+	shapeFileCache.Lock()
+	defer shapeFileCache.Unlock()
+	if t, ok := shapeFileCache.m[filename]; ok {
+		return t
+	}
+	table := make(map[string]*funcContracts)
+	shapeFileCache.m[filename] = table
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, nil, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		return table
+	}
+	for _, decl := range f.Decls {
+		fd, ok := decl.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fc, _ := extractContracts(fd.Doc); fc != nil {
+			table[shapeFuncKey(astRecvTypeName(fd), fd.Name.Name)] = fc
+		}
+	}
+	return table
+}
+
+// recvBaseTypeName names the defined type behind a receiver type.
+func recvBaseTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// shapeContractsFor returns the contracts of fn, or nil. Only module-local
+// functions are considered (stdlib files are never parsed), located via the
+// shared FileSet position of the function's declaration.
+func shapeContractsFor(pass *Pass, fn *types.Func) *funcContracts {
+	if fn == nil || fn.Pkg() == nil || pass.Pkg.Module == "" {
+		return nil
+	}
+	path := fn.Pkg().Path()
+	if path != pass.Pkg.Module && !strings.HasPrefix(path, pass.Pkg.Module+"/") {
+		return nil
+	}
+	posn := pass.Pkg.Fset.Position(fn.Pos())
+	if posn.Filename == "" {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	recv := ""
+	if r := sig.Recv(); r != nil {
+		if recv = recvBaseTypeName(r.Type()); recv == "" {
+			return nil
+		}
+	}
+	return shapeContractsInFile(posn.Filename)[shapeFuncKey(recv, fn.Name())]
+}
+
+// displayFuncName renders a callee for diagnostics: "SOI.Forward",
+// "conv.Apply".
+func displayFuncName(fn *types.Func) string {
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		if r := recvBaseTypeName(sig.Recv().Type()); r != "" {
+			return r + "." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// ---------------------------------------------------------------------------
+// Analyzer driver
+// ---------------------------------------------------------------------------
+
+func runShapeCheck(pass *Pass) {
+	if pass.Pkg.Info == nil {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			validateContracts(pass, fd)
+			if fd.Body == nil {
+				continue
+			}
+			env := buildShapeEnv(pass, fd)
+			env.checkCalls(fd.Body)
+		}
+	}
+}
+
+// validateContracts reports malformed or unresolvable contracts on the
+// declaration itself, in the declaring package's own run.
+func validateContracts(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Doc == nil {
+		return
+	}
+	var fn *types.Func
+	if obj, ok := pass.Pkg.Info.Defs[fd.Name].(*types.Func); ok {
+		fn = obj
+	}
+	for _, rest := range shapeContractLines(fd.Doc) {
+		c, err := parseShapeContract(rest)
+		if err != nil {
+			pass.Reportf(fd.Pos(), "malformed //soilint:shape contract %q: %v", strings.TrimSpace(rest), err)
+			continue
+		}
+		if fn == nil {
+			continue // type errors: parse-check only
+		}
+		for _, ref := range collectRefs(c.LHS, c.RHS) {
+			if err := checkContractRef(fn, ref); err != nil {
+				pass.Reportf(fd.Pos(), "shape contract %q: %v", c.Text, err)
+			}
+		}
+	}
+}
+
+func collectRefs(exprs ...shapeExpr) []seRef {
+	var out []seRef
+	var walk func(shapeExpr)
+	walk = func(e shapeExpr) {
+		switch e := e.(type) {
+		case seRef:
+			out = append(out, e)
+		case seBin:
+			walk(e.l)
+			walk(e.r)
+		case seNeg:
+			walk(e.x)
+		}
+	}
+	for _, e := range exprs {
+		walk(e)
+	}
+	return out
+}
+
+// checkContractRef resolves one contract name against the function's
+// signature: a parameter, the receiver (by name or implicitly via its
+// fields and zero-argument methods), or "return".
+func checkContractRef(fn *types.Func, ref seRef) error {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	head := ref.path[0]
+	resolveRest := func(t types.Type, rest []string) error {
+		if len(rest) == 0 {
+			if ref.call {
+				return fmt.Errorf("%q cannot be called", head)
+			}
+			return nil
+		}
+		_, final, ok := canonFieldChain(t, rest, fn.Pkg(), ref.call)
+		if !ok {
+			return fmt.Errorf("cannot resolve %q on %s", strings.Join(ref.path, "."), t)
+		}
+		return checkContractFinal(ref, final)
+	}
+	if head == "return" {
+		if sig.Results().Len() == 0 {
+			return fmt.Errorf("%q used but function has no results", "return")
+		}
+		return resolveRest(sig.Results().At(0).Type(), ref.path[1:])
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == head {
+			return resolveRest(sig.Params().At(i).Type(), ref.path[1:])
+		}
+	}
+	recv := sig.Recv()
+	if recv == nil {
+		return fmt.Errorf("unknown name %q", head)
+	}
+	if recv.Name() == head && recv.Name() != "" && recv.Name() != "_" {
+		return resolveRest(recv.Type(), ref.path[1:])
+	}
+	// Implicit receiver member.
+	_, final, ok := canonFieldChain(recv.Type(), ref.path, fn.Pkg(), ref.call)
+	if !ok {
+		return fmt.Errorf("unknown name %q", strings.Join(ref.path, "."))
+	}
+	return checkContractFinal(ref, final)
+}
+
+func checkContractFinal(ref seRef, final types.Object) error {
+	m, isFunc := final.(*types.Func)
+	if ref.call {
+		if !isFunc {
+			return fmt.Errorf("%q is not a method", strings.Join(ref.path, "."))
+		}
+		msig := m.Type().(*types.Signature)
+		if msig.Params().Len() != 0 || msig.Results().Len() != 1 {
+			return fmt.Errorf("method %q must take no arguments and return one value", m.Name())
+		}
+		return nil
+	}
+	if isFunc {
+		return fmt.Errorf("%q is a method; call it with ()", strings.Join(ref.path, "."))
+	}
+	return nil
+}
+
+// canonFieldChain resolves dotted names against t, expanding promoted
+// (embedded) fields into the canonical selector path. The final object may
+// be a zero-argument method when allowMethod is set (only in last
+// position). from controls unexported-field visibility.
+func canonFieldChain(t types.Type, names []string, from *types.Package, allowMethod bool) ([]string, types.Object, bool) {
+	var canon []string
+	var final types.Object
+	for i, name := range names {
+		obj, index, _ := types.LookupFieldOrMethod(t, true, from, name)
+		if obj == nil {
+			return nil, nil, false
+		}
+		cur := t
+		for j := 0; j < len(index)-1; j++ {
+			st, ok := structUnder(cur)
+			if !ok {
+				return nil, nil, false
+			}
+			f := st.Field(index[j])
+			canon = append(canon, f.Name())
+			cur = f.Type()
+		}
+		switch o := obj.(type) {
+		case *types.Var:
+			canon = append(canon, o.Name())
+			cur = o.Type()
+		case *types.Func:
+			if !allowMethod || i != len(names)-1 {
+				return nil, nil, false
+			}
+			canon = append(canon, o.Name())
+		default:
+			return nil, nil, false
+		}
+		final = obj
+		t = cur
+	}
+	return canon, final, true
+}
+
+func structUnder(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func isIntegerType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsInteger|types.IsUntyped) != 0 && b.Info()&types.IsInteger != 0
+}
+
+// ---------------------------------------------------------------------------
+// Symbolic environment: paths, regions, atoms
+// ---------------------------------------------------------------------------
+
+// refPath names a value reachable from a variable through canonical field
+// selections: (obj, "Win.Params.N"). path "" is the variable itself.
+type refPath struct {
+	obj  types.Object
+	path string
+}
+
+func (r refPath) child(names ...string) refPath {
+	p := r.path
+	for _, n := range names {
+		if p == "" {
+			p = n
+		} else {
+			p += "." + n
+		}
+	}
+	return refPath{obj: r.obj, path: p}
+}
+
+type symKey struct {
+	obj  types.Object
+	path string
+}
+
+// aliasFacet records that a path refers to another path: live aliases
+// (pointers) are resolved at the use position, value copies (slice headers,
+// struct values, ints) at the position the alias was established.
+type aliasFacet struct {
+	target refPath
+	live   bool
+}
+
+// symRegion is one assignment's effect, valid from its position until the
+// next region of the same (or an enclosing) path. Facets that could not be
+// computed stay nil: the path is then an opaque-but-stable atom in that
+// region.
+type symRegion struct {
+	from   token.Pos
+	lenVal *shapePoly
+	intVal *shapePoly
+	alias  *aliasFacet
+}
+
+type symState struct{ regions []symRegion }
+
+func (st *symState) add(r symRegion) {
+	i := sort.Search(len(st.regions), func(i int) bool { return st.regions[i].from >= r.from })
+	if i < len(st.regions) && st.regions[i].from == r.from {
+		// Two events at one position (e.g. a loop echo meeting a real
+		// event): keep the conservative opaque region.
+		st.regions[i] = symRegion{from: r.from}
+		return
+	}
+	st.regions = append(st.regions, symRegion{})
+	copy(st.regions[i+1:], st.regions[i:])
+	st.regions[i] = r
+}
+
+type shapeEnv struct {
+	pass    *Pass
+	info    *types.Info
+	syms    map[symKey]*symState
+	atomIDs map[string]string // pretty name -> identity, for collision bumps
+}
+
+// pathPrefixes lists "", then each dotted prefix, ending with path itself.
+func pathPrefixes(path string) []string {
+	out := []string{""}
+	if path == "" {
+		return out
+	}
+	for i := 0; i < len(path); i++ {
+		if path[i] == '.' {
+			out = append(out, path[:i])
+		}
+	}
+	return append(out, path)
+}
+
+// facts is the result of resolving a path at a position: the governing
+// region's facets, the final canonical path after alias-following, and a
+// generation counter that keeps atoms stable within a value's lifetime but
+// distinct across reassignments.
+type facts struct {
+	region symRegion
+	rp     refPath
+	gen    int
+}
+
+// resolveFacts finds the latest region at or before `at` over the path and
+// all its prefixes. An alias region redirects the remainder of the path; an
+// ancestor write invalidates (opaque); otherwise the path's own region (or
+// the entry state) governs.
+func (e *shapeEnv) resolveFacts(rp refPath, at token.Pos, depth int) facts {
+	if depth > 10 || rp.obj == nil {
+		return facts{rp: rp}
+	}
+	var gov symRegion
+	govPfx, found := "", false
+	gen := 0
+	for _, pfx := range pathPrefixes(rp.path) {
+		st := e.syms[symKey{rp.obj, pfx}]
+		if st == nil {
+			continue
+		}
+		for _, r := range st.regions {
+			if r.from > at {
+				break
+			}
+			gen++
+			if !found || r.from > gov.from || (r.from == gov.from && len(pfx) > len(govPfx)) {
+				gov, govPfx, found = r, pfx, true
+			}
+		}
+	}
+	if !found {
+		return facts{rp: rp, gen: 0}
+	}
+	if gov.alias != nil {
+		rest := strings.TrimPrefix(strings.TrimPrefix(rp.path, govPfx), ".")
+		tgt := gov.alias.target
+		if rest != "" {
+			tgt = tgt.child(strings.Split(rest, ".")...)
+		}
+		at2 := at
+		if !gov.alias.live {
+			at2 = gov.from
+		}
+		return e.resolveFacts(tgt, at2, depth+1)
+	}
+	if govPfx != rp.path {
+		// Overwritten via an enclosing path: opaque.
+		return facts{rp: rp, gen: gen}
+	}
+	return facts{region: gov, rp: rp, gen: gen}
+}
+
+// atom returns the stable atom name for a resolved path. kind is "val",
+// "len", or "m:<Name>" / "lm:<Name>" for zero-argument method results.
+func (e *shapeEnv) atom(rp refPath, gen int, kind string) string {
+	base := rp.obj.Name()
+	if base == "" {
+		base = "_"
+	}
+	if rp.path != "" {
+		base += "." + rp.path
+	}
+	pretty := base
+	switch {
+	case kind == "len":
+		pretty = "len(" + base + ")"
+	case strings.HasPrefix(kind, "m:"):
+		pretty = base + "." + kind[2:] + "()"
+	case strings.HasPrefix(kind, "lm:"):
+		pretty = "len(" + base + "." + kind[3:] + "())"
+	}
+	if gen > 0 {
+		pretty += fmt.Sprintf("#%d", gen)
+	}
+	id := fmt.Sprintf("%d|%s|%s|%d", rp.obj.Pos(), rp.path, kind, gen)
+	if prev, ok := e.atomIDs[pretty]; ok && prev != id {
+		pretty = fmt.Sprintf("%s@%d", pretty, rp.obj.Pos())
+	}
+	e.atomIDs[pretty] = id
+	return pretty
+}
+
+func (e *shapeEnv) lenOfRef(rp refPath, at token.Pos) *shapePoly {
+	f := e.resolveFacts(rp, at, 0)
+	if f.region.lenVal != nil {
+		return f.region.lenVal
+	}
+	return polyAtom(e.atom(f.rp, f.gen, "len"))
+}
+
+func (e *shapeEnv) intOfRef(rp refPath, at token.Pos) *shapePoly {
+	f := e.resolveFacts(rp, at, 0)
+	if f.region.intVal != nil {
+		return f.region.intVal
+	}
+	return polyAtom(e.atom(f.rp, f.gen, "val"))
+}
+
+// typeOfRefPath walks the static type along a canonical path.
+func typeOfRefPath(rp refPath) types.Type {
+	if rp.obj == nil {
+		return nil
+	}
+	t := rp.obj.Type()
+	if rp.path == "" {
+		return t
+	}
+	for _, name := range strings.Split(rp.path, ".") {
+		st, ok := structUnder(t)
+		if !ok {
+			return nil
+		}
+		var f *types.Var
+		for i := 0; i < st.NumFields(); i++ {
+			if st.Field(i).Name() == name {
+				f = st.Field(i)
+				break
+			}
+		}
+		if f == nil {
+			return nil
+		}
+		t = f.Type()
+	}
+	return t
+}
+
+// ---------------------------------------------------------------------------
+// Path resolution from syntax
+// ---------------------------------------------------------------------------
+
+// rawRefPath maps an expression to the (unnormalized) path it denotes:
+// identifiers, field selections (expanded through promoted fields), &x and
+// *p are transparent. Anything else — index expressions, calls, literals —
+// is not a path.
+func (e *shapeEnv) rawRefPath(x ast.Expr) (refPath, bool) {
+	switch x := ast.Unparen(x).(type) {
+	case *ast.Ident:
+		obj := e.info.Uses[x]
+		if obj == nil {
+			obj = e.info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			return refPath{obj: v}, true
+		}
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return e.rawRefPath(x.X)
+		}
+	case *ast.StarExpr:
+		return e.rawRefPath(x.X)
+	case *ast.SelectorExpr:
+		sel := e.info.Selections[x]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return refPath{}, false
+		}
+		base, ok := e.rawRefPath(x.X)
+		if !ok {
+			return refPath{}, false
+		}
+		tv, ok := e.info.Types[x.X]
+		if !ok {
+			return refPath{}, false
+		}
+		names, ok := fieldChainNames(tv.Type, sel.Index())
+		if !ok {
+			return refPath{}, false
+		}
+		return base.child(names...), true
+	}
+	return refPath{}, false
+}
+
+// fieldChainNames expands a selection index chain into field names.
+func fieldChainNames(t types.Type, index []int) ([]string, bool) {
+	var names []string
+	for _, idx := range index {
+		st, ok := structUnder(t)
+		if !ok || idx >= st.NumFields() {
+			return nil, false
+		}
+		f := st.Field(idx)
+		names = append(names, f.Name())
+		t = f.Type()
+	}
+	return names, true
+}
+
+// ---------------------------------------------------------------------------
+// Expression evaluation (caller side)
+// ---------------------------------------------------------------------------
+
+func (e *shapeEnv) intOfExpr(x ast.Expr, at token.Pos, depth int) *shapePoly {
+	if depth > 12 || x == nil {
+		return nil
+	}
+	x = ast.Unparen(x)
+	if tv, ok := e.info.Types[x]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return polyConst(v)
+		}
+		return nil
+	}
+	switch x := x.(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		tv, ok := e.info.Types[x.(ast.Expr)]
+		if !ok || tv.Type == nil || !isIntegerType(tv.Type) {
+			return nil
+		}
+		rp, ok := e.rawRefPath(x.(ast.Expr))
+		if !ok {
+			return nil
+		}
+		return e.intOfRef(rp, at)
+	case *ast.BinaryExpr:
+		l := e.intOfExpr(x.X, at, depth+1)
+		r := e.intOfExpr(x.Y, at, depth+1)
+		switch x.Op {
+		case token.ADD:
+			return polyAdd(l, r)
+		case token.SUB:
+			return polySub(l, r)
+		case token.MUL:
+			return polyMul(l, r)
+		case token.QUO:
+			// Modeled as exact division; see the package comment.
+			return polyDiv(l, r)
+		}
+		return nil
+	case *ast.UnaryExpr:
+		if x.Op == token.SUB {
+			return polyNeg(e.intOfExpr(x.X, at, depth+1))
+		}
+		return nil
+	case *ast.CallExpr:
+		if calleeBuiltin(e.info, x) == "len" && len(x.Args) == 1 {
+			return e.lenOfExpr(x.Args[0], at, depth+1)
+		}
+		return e.callPoly(x, false, at, depth+1)
+	}
+	return nil
+}
+
+func (e *shapeEnv) lenOfExpr(x ast.Expr, at token.Pos, depth int) *shapePoly {
+	if depth > 12 || x == nil {
+		return nil
+	}
+	x = ast.Unparen(x)
+	switch x := x.(type) {
+	case *ast.CompositeLit:
+		for _, elt := range x.Elts {
+			if _, ok := elt.(*ast.KeyValueExpr); ok {
+				return nil // indexed or map literal: length not len(Elts)
+			}
+		}
+		return polyConst(int64(len(x.Elts)))
+	case *ast.CallExpr:
+		if calleeBuiltin(e.info, x) == "make" && len(x.Args) >= 2 {
+			return e.intOfExpr(x.Args[1], at, depth+1)
+		}
+		return e.callPoly(x, true, at, depth+1)
+	case *ast.SliceExpr:
+		var lo *shapePoly = polyConst(0)
+		if x.Low != nil {
+			lo = e.intOfExpr(x.Low, at, depth+1)
+		}
+		var hi *shapePoly
+		if x.High != nil {
+			hi = e.intOfExpr(x.High, at, depth+1)
+		} else {
+			hi = e.lenOfExpr(x.X, at, depth+1)
+		}
+		return polySub(hi, lo)
+	case *ast.Ident, *ast.SelectorExpr:
+		rp, ok := e.rawRefPath(x.(ast.Expr))
+		if !ok {
+			return nil
+		}
+		return e.lenOfRef(rp, at)
+	}
+	return nil
+}
+
+// callPoly evaluates a call's result (wantLen: the result's length) via the
+// callee's definitional contracts, falling back to a stable atom for
+// zero-argument methods on resolvable receivers.
+func (e *shapeEnv) callPoly(call *ast.CallExpr, wantLen bool, at token.Pos, depth int) *shapePoly {
+	fn := calleeFunc(e.info, call)
+	if fn == nil || depth > 12 {
+		return nil
+	}
+	ctx, ok := e.newSubstCtx(call, fn, at, depth)
+	if ok {
+		if fc := shapeContractsFor(e.pass, fn); fc != nil {
+			for _, c := range fc.def {
+				if c.Op != shapeEq {
+					continue
+				}
+				ref, isRef := c.LHS.(seRef)
+				if !isRef || len(ref.path) != 1 || ref.path[0] != "return" || ref.call || ref.isLen != wantLen {
+					continue
+				}
+				if p := ctx.subst(c.RHS); p != nil {
+					return p
+				}
+			}
+		}
+	}
+	// Contract-free zero-argument method on a resolvable path: stable atom.
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil && len(call.Args) == 0 {
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if rp, ok := e.rawRefPath(sel.X); ok {
+				return e.methodAtomOrContract(rp, fn.Name(), wantLen, at, depth)
+			}
+		}
+	}
+	return nil
+}
+
+// methodAtomOrContract evaluates a zero-argument method named m on the path
+// rp: if the *static type of rp* declares the method with a definitional
+// contract, expand it (this is how a concrete fixedComm.Size() contract is
+// found even when the call goes through an interface); otherwise a stable
+// atom.
+func (e *shapeEnv) methodAtomOrContract(rp refPath, m string, wantLen bool, at token.Pos, depth int) *shapePoly {
+	if depth > 12 {
+		return nil
+	}
+	f := e.resolveFacts(rp, at, 0)
+	if t := typeOfRefPath(f.rp); t != nil {
+		var from *types.Package
+		if p, ok := f.rp.obj.(*types.Var); ok && p.Pkg() != nil {
+			from = p.Pkg()
+		}
+		if obj, index, _ := types.LookupFieldOrMethod(t, true, from, m); obj != nil {
+			if mf, ok := obj.(*types.Func); ok {
+				// A method found through embedded fields is a method on the
+				// embedded value: extend the path with the implicit hops so
+				// the receiver (and the fallback atom) use the same canonical
+				// root as explicit field paths.
+				resolved := true
+				if len(index) > 1 {
+					resolved = false
+					if names, ok2 := fieldChainNames(t, index[:len(index)-1]); ok2 {
+						f = e.resolveFacts(f.rp.child(names...), at, 0)
+						resolved = true
+					}
+				}
+				if resolved {
+					if fc := shapeContractsFor(e.pass, mf); fc != nil {
+						for _, c := range fc.def {
+							if c.Op != shapeEq {
+								continue
+							}
+							ref, isRef := c.LHS.(seRef)
+							if !isRef || len(ref.path) != 1 || ref.path[0] != "return" || ref.call || ref.isLen != wantLen {
+								continue
+							}
+							ctx := &substCtx{env: e, fn: mf, recv: &f.rp, at: at, depth: depth + 1}
+							if p := ctx.subst(c.RHS); p != nil {
+								return p
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	kind := "m:" + m
+	if wantLen {
+		kind = "lm:" + m
+	}
+	return polyAtom(e.atom(f.rp, f.gen, kind))
+}
+
+// ---------------------------------------------------------------------------
+// Contract substitution
+// ---------------------------------------------------------------------------
+
+// substCtx binds a contract's names for one call site: parameter names to
+// caller argument expressions, the receiver to a resolved caller path.
+type substCtx struct {
+	env   *shapeEnv
+	fn    *types.Func
+	args  map[string]ast.Expr
+	recv  *refPath
+	at    token.Pos
+	depth int
+}
+
+// newSubstCtx maps the callee's parameters to this call's arguments. ok is
+// false only for method-expression calls (T.M(recv, ...)), which shift the
+// argument list.
+func (e *shapeEnv) newSubstCtx(call *ast.CallExpr, fn *types.Func, at token.Pos, depth int) (*substCtx, bool) {
+	sig, sok := fn.Type().(*types.Signature)
+	if !sok {
+		return nil, false
+	}
+	ctx := &substCtx{env: e, fn: fn, at: at, depth: depth, args: make(map[string]ast.Expr)}
+	if sig.Recv() != nil {
+		sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !isSel {
+			return nil, false
+		}
+		msel := e.info.Selections[sel]
+		if msel == nil {
+			// Qualified name, not a method selection: method expression.
+			return nil, false
+		}
+		if rp, ok := e.rawRefPath(sel.X); ok {
+			// A method promoted from an embedded field is really a method on
+			// that field: extend the receiver path with the implicit hops so
+			// the contract's implicit-field refs land on the same canonical
+			// atoms as explicit field paths (pl.Win.GhostElems() must bind B
+			// at Win.Params.B, where f.B also canonicalizes).
+			bound := true
+			if hops := msel.Index(); len(hops) > 1 {
+				bound = false
+				if t := e.info.Types[sel.X].Type; t != nil {
+					if names, ok2 := fieldChainNames(t, hops[:len(hops)-1]); ok2 {
+						rp = rp.child(names...)
+						bound = true
+					}
+				}
+			}
+			if bound {
+				ctx.recv = &rp
+			}
+		}
+	}
+	for i := 0; i < sig.Params().Len() && i < len(call.Args); i++ {
+		if sig.Variadic() && i == sig.Params().Len()-1 {
+			break
+		}
+		if name := sig.Params().At(i).Name(); name != "" && name != "_" {
+			ctx.args[name] = call.Args[i]
+		}
+	}
+	return ctx, true
+}
+
+func (c *substCtx) subst(x shapeExpr) *shapePoly {
+	if c.depth > 12 {
+		return nil
+	}
+	switch x := x.(type) {
+	case seInt:
+		return polyConst(x.v)
+	case seNeg:
+		return polyNeg(c.subst(x.x))
+	case seBin:
+		l, r := c.subst(x.l), c.subst(x.r)
+		switch x.op {
+		case '+':
+			return polyAdd(l, r)
+		case '-':
+			return polySub(l, r)
+		case '*':
+			return polyMul(l, r)
+		case '/':
+			return polyDiv(l, r)
+		}
+		return nil
+	case seRef:
+		return c.substRef(x)
+	}
+	return nil
+}
+
+func (c *substCtx) substRef(ref seRef) *shapePoly {
+	e := c.env
+	sig, _ := c.fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	head := ref.path[0]
+	if head == "return" {
+		return nil // definitional refs never substitute on the caller side
+	}
+
+	// resolveOnPath evaluates ref.path[1:] (canonicalized against t) rooted
+	// at a caller path.
+	resolveOnPath := func(rp refPath, t types.Type) *shapePoly {
+		rest := ref.path[1:]
+		if len(rest) == 0 {
+			if ref.call {
+				return nil
+			}
+			if ref.isLen {
+				return e.lenOfRef(rp, c.at)
+			}
+			return e.intOfRef(rp, c.at)
+		}
+		canon, final, ok := canonFieldChain(t, rest, c.fn.Pkg(), ref.call)
+		if !ok {
+			return nil
+		}
+		if _, isMethod := final.(*types.Func); isMethod {
+			base := rp.child(canon[:len(canon)-1]...)
+			return e.methodAtomOrContract(base, final.Name(), ref.isLen, c.at, c.depth+1)
+		}
+		full := rp.child(canon...)
+		if ref.isLen {
+			return e.lenOfRef(full, c.at)
+		}
+		return e.intOfRef(full, c.at)
+	}
+
+	// Parameter?
+	if arg, ok := c.args[head]; ok {
+		if len(ref.path) == 1 && !ref.call {
+			if ref.isLen {
+				return e.lenOfExpr(arg, c.at, c.depth+1)
+			}
+			return e.intOfExpr(arg, c.at, c.depth+1)
+		}
+		rp, ok := e.rawRefPath(arg)
+		if !ok {
+			return nil
+		}
+		var pt types.Type
+		for i := 0; i < sig.Params().Len(); i++ {
+			if sig.Params().At(i).Name() == head {
+				pt = sig.Params().At(i).Type()
+			}
+		}
+		if pt == nil {
+			return nil
+		}
+		return resolveOnPath(rp, pt)
+	}
+
+	recv := sig.Recv()
+	if recv == nil || c.recv == nil {
+		return nil
+	}
+	if recv.Name() == head && recv.Name() != "" && recv.Name() != "_" {
+		return resolveOnPath(*c.recv, recv.Type())
+	}
+	// Implicit receiver member: the whole path resolves on the receiver.
+	canon, final, ok := canonFieldChain(recv.Type(), ref.path, c.fn.Pkg(), ref.call)
+	if !ok {
+		return nil
+	}
+	if _, isMethod := final.(*types.Func); isMethod {
+		base := c.recv.child(canon[:len(canon)-1]...)
+		return e.methodAtomOrContract(base, final.Name(), ref.isLen, c.at, c.depth+1)
+	}
+	full := c.recv.child(canon...)
+	if ref.isLen {
+		return e.lenOfRef(full, c.at)
+	}
+	return e.intOfRef(full, c.at)
+}
+
+// ---------------------------------------------------------------------------
+// Call-site checking
+// ---------------------------------------------------------------------------
+
+func (e *shapeEnv) checkCalls(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(e.info, call)
+		if fn == nil {
+			return true
+		}
+		fc := shapeContractsFor(e.pass, fn)
+		if fc == nil {
+			return true
+		}
+		for _, c := range fc.req {
+			e.checkContract(call, fn, c)
+		}
+		return true
+	})
+}
+
+func (e *shapeEnv) checkContract(call *ast.CallExpr, fn *types.Func, c *shapeContract) {
+	name := displayFuncName(fn)
+	ctx, ok := e.newSubstCtx(call, fn, call.Pos(), 0)
+	if !ok {
+		e.pass.Notef(call.Pos(), "cannot prove shape contract %q on call to %s (method expression)", c.Text, name)
+		return
+	}
+	lhs := ctx.subst(c.LHS)
+	rhs := ctx.subst(c.RHS)
+	if lhs == nil || rhs == nil {
+		e.pass.Notef(call.Pos(), "cannot prove shape contract %q on call to %s", c.Text, name)
+		return
+	}
+	diff := polySub(lhs, rhs)
+	if diff.isZero() {
+		return // proven (== and >= both hold)
+	}
+	sign := diff.coefSign()
+	if sign == 0 {
+		e.pass.Notef(call.Pos(), "cannot prove shape contract %q on call to %s: %s %s %s is undecided",
+			c.Text, name, lhs, c.Op, rhs)
+		return
+	}
+	if c.Op == shapeGE && sign > 0 {
+		return // lhs - rhs has only positive terms: proven
+	}
+	e.pass.Reportf(call.Pos(), "call to %s violates shape contract %q: %s = %s, want %s %s",
+		name, c.Text, exprString(c.LHS), lhs, c.Op, rhs)
+}
+
+// ---------------------------------------------------------------------------
+// Environment construction
+// ---------------------------------------------------------------------------
+
+func buildShapeEnv(pass *Pass, fd *ast.FuncDecl) *shapeEnv {
+	env := &shapeEnv{
+		pass:    pass,
+		info:    pass.Pkg.Info,
+		syms:    make(map[symKey]*symState),
+		atomIDs: make(map[string]string),
+	}
+	b := &envBuilder{e: env}
+	b.stmt(fd.Body)
+	return env
+}
+
+// envBuilder walks a function body in source order, recording one region
+// per assignment. cond > 0 inside branches, loops and closures: such
+// assignments open opaque regions only. loopEchoes carries the echo
+// position of every enclosing loop; conditional events inside a loop also
+// open an opaque region at the loop's echo point, so values captured before
+// the loop cannot leak across the back edge.
+type envBuilder struct {
+	e          *shapeEnv
+	cond       int
+	loopEchoes []token.Pos
+	closures   []*ast.FuncLit
+}
+
+func (b *envBuilder) nested(f func()) {
+	b.cond++
+	f()
+	b.cond--
+}
+
+func (b *envBuilder) loop(echo token.Pos, f func()) {
+	b.cond++
+	b.loopEchoes = append(b.loopEchoes, echo)
+	f()
+	b.loopEchoes = b.loopEchoes[:len(b.loopEchoes)-1]
+	b.cond--
+}
+
+// expr scans an expression for function literals, whose bodies run at an
+// unknown time: their writes to captured variables are treated as
+// conditional events at the literal's position.
+func (b *envBuilder) expr(x ast.Expr) {
+	if x == nil {
+		return
+	}
+	ast.Inspect(x, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		b.closures = append(b.closures, lit)
+		b.nested(func() { b.stmt(lit.Body) })
+		b.closures = b.closures[:len(b.closures)-1]
+		return false
+	})
+}
+
+func (b *envBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			b.expr(r)
+		}
+		for _, l := range s.Lhs {
+			b.expr(l)
+		}
+		b.assign(s)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						b.expr(v)
+					}
+					b.valueSpec(vs)
+				}
+			}
+		}
+	case *ast.IfStmt:
+		b.stmt(s.Init)
+		b.expr(s.Cond)
+		b.nested(func() { b.stmt(s.Body) })
+		if s.Else != nil {
+			b.nested(func() { b.stmt(s.Else) })
+		}
+	case *ast.ForStmt:
+		b.stmt(s.Init)
+		echo := s.Body.Pos()
+		if s.Post != nil {
+			echo = s.Post.Pos()
+		}
+		if s.Cond != nil {
+			echo = s.Cond.Pos()
+		}
+		b.loop(echo, func() {
+			b.expr(s.Cond)
+			b.stmt(s.Post)
+			b.stmt(s.Body)
+		})
+	case *ast.RangeStmt:
+		b.expr(s.X)
+		b.loop(s.Body.Pos(), func() {
+			for _, kv := range []ast.Expr{s.Key, s.Value} {
+				if kv != nil {
+					b.eventOpaque(kv, kv.Pos())
+				}
+			}
+			b.stmt(s.Body)
+		})
+	case *ast.SwitchStmt:
+		b.stmt(s.Init)
+		b.expr(s.Tag)
+		if s.Body != nil {
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					for _, x := range cc.List {
+						b.expr(x)
+					}
+					b.nested(func() {
+						for _, st := range cc.Body {
+							b.stmt(st)
+						}
+					})
+				}
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		b.stmt(s.Init)
+		b.nested(func() {
+			b.stmt(s.Assign)
+			for _, cl := range s.Body.List {
+				if cc, ok := cl.(*ast.CaseClause); ok {
+					for _, st := range cc.Body {
+						b.stmt(st)
+					}
+				}
+			}
+		})
+	case *ast.SelectStmt:
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				b.nested(func() {
+					b.stmt(cc.Comm)
+					for _, st := range cc.Body {
+						b.stmt(st)
+					}
+				})
+			}
+		}
+	case *ast.LabeledStmt:
+		b.stmt(s.Stmt)
+	case *ast.ExprStmt:
+		b.expr(s.X)
+	case *ast.SendStmt:
+		b.expr(s.Chan)
+		b.expr(s.Value)
+	case *ast.IncDecStmt:
+		b.expr(s.X)
+		b.eventOpaque(s.X, s.Pos())
+	case *ast.GoStmt:
+		b.expr(s.Call)
+	case *ast.DeferStmt:
+		b.expr(s.Call)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			b.expr(r)
+		}
+	}
+}
+
+func (b *envBuilder) valueSpec(vs *ast.ValueSpec) {
+	switch {
+	case len(vs.Values) == len(vs.Names):
+		for i := range vs.Names {
+			b.assignOne(vs.Names[i], vs.Values[i], vs.Pos())
+		}
+	case len(vs.Values) == 1:
+		b.assignTuple(identExprs(vs.Names), vs.Values[0], vs.Pos())
+	default: // var x []T — zero value; track as opaque
+		for _, n := range vs.Names {
+			b.eventOpaque(n, vs.Pos())
+		}
+	}
+}
+
+func identExprs(ids []*ast.Ident) []ast.Expr {
+	out := make([]ast.Expr, len(ids))
+	for i, id := range ids {
+		out[i] = id
+	}
+	return out
+}
+
+func (b *envBuilder) assign(s *ast.AssignStmt) {
+	if s.Tok != token.DEFINE && s.Tok != token.ASSIGN {
+		// +=, -=, ...: the target changes in an unevaluated way.
+		for _, l := range s.Lhs {
+			b.eventOpaque(l, s.Pos())
+		}
+		return
+	}
+	if len(s.Lhs) == len(s.Rhs) {
+		for i := range s.Lhs {
+			b.assignOne(s.Lhs[i], s.Rhs[i], s.Pos())
+		}
+		return
+	}
+	if len(s.Rhs) == 1 {
+		b.assignTuple(s.Lhs, s.Rhs[0], s.Pos())
+	}
+}
+
+// assignTuple handles x, y := f() / v, ok := m[k] / etc. Only a call's
+// first result can carry definitional contract facts; every other target is
+// opaque.
+func (b *envBuilder) assignTuple(lhs []ast.Expr, rhs ast.Expr, at token.Pos) {
+	if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && len(lhs) > 0 {
+		b.assignOne(lhs[0], call, at)
+		for _, l := range lhs[1:] {
+			b.eventOpaque(l, at)
+		}
+		return
+	}
+	for _, l := range lhs {
+		b.eventOpaque(l, at)
+	}
+}
+
+// writeTargetKey resolves the symbol an assignment writes: live (pointer)
+// aliases of the enclosing path are followed so writes through a pointer
+// land on the pointee's path; value-copy aliases are not (writing a copy
+// must not kill the original).
+func (b *envBuilder) writeTargetKey(target ast.Expr, at token.Pos) (symKey, bool) {
+	e := b.e
+	x := ast.Unparen(target)
+	if id, ok := x.(*ast.Ident); ok && id.Name == "_" {
+		return symKey{}, false
+	}
+	// Writes through an index expression change neither tracked lengths nor
+	// tracked integers.
+	if _, ok := x.(*ast.IndexExpr); ok {
+		return symKey{}, false
+	}
+	rp, ok := e.rawRefPath(x)
+	if !ok {
+		return symKey{}, false
+	}
+	if rp.path == "" {
+		return symKey{rp.obj, ""}, true
+	}
+	// Normalize the enclosing path through live aliases only.
+	comps := strings.Split(rp.path, ".")
+	base := refPath{obj: rp.obj, path: strings.Join(comps[:len(comps)-1], ".")}
+	last := comps[len(comps)-1]
+	for i := 0; i < 10; i++ {
+		f := e.resolveFactsWriteBase(base, at)
+		if f == nil {
+			break
+		}
+		base = *f
+	}
+	full := base.child(last)
+	return symKey{full.obj, full.path}, true
+}
+
+// resolveFactsWriteBase follows one live-alias step governing base, or nil.
+func (e *shapeEnv) resolveFactsWriteBase(base refPath, at token.Pos) *refPath {
+	var gov symRegion
+	govPfx, found := "", false
+	for _, pfx := range pathPrefixes(base.path) {
+		st := e.syms[symKey{base.obj, pfx}]
+		if st == nil {
+			continue
+		}
+		for _, r := range st.regions {
+			if r.from > at {
+				break
+			}
+			if !found || r.from > gov.from || (r.from == gov.from && len(pfx) > len(govPfx)) {
+				gov, govPfx, found = r, pfx, true
+			}
+		}
+	}
+	if !found || gov.alias == nil || !gov.alias.live {
+		return nil
+	}
+	rest := strings.TrimPrefix(strings.TrimPrefix(base.path, govPfx), ".")
+	tgt := gov.alias.target
+	if rest != "" {
+		tgt = tgt.child(strings.Split(rest, ".")...)
+	}
+	return &tgt
+}
+
+// addRegion records a region for key, echoing an opaque region at every
+// enclosing loop head for conditional events.
+func (b *envBuilder) addRegion(key symKey, r symRegion) {
+	st := b.e.syms[key]
+	if st == nil {
+		st = &symState{}
+		b.e.syms[key] = st
+	}
+	st.add(r)
+	if b.cond > 0 {
+		for _, echo := range b.loopEchoes {
+			if echo < r.from {
+				st.add(symRegion{from: echo})
+			}
+		}
+	}
+}
+
+// effectivePos moves a closure-internal write to the closure's position
+// when the target is captured from outside (the closure may run any time
+// after it exists).
+func (b *envBuilder) effectivePos(obj types.Object, at token.Pos) token.Pos {
+	for _, lit := range b.closures {
+		if !declaredWithin(obj, lit) {
+			return lit.Pos()
+		}
+	}
+	return at
+}
+
+func (b *envBuilder) eventOpaque(target ast.Expr, at token.Pos) {
+	key, ok := b.writeTargetKey(target, at)
+	if !ok {
+		return
+	}
+	b.addRegion(key, symRegion{from: b.effectivePos(key.obj, at)})
+}
+
+func (b *envBuilder) assignOne(target, rhs ast.Expr, at token.Pos) {
+	key, ok := b.writeTargetKey(target, at)
+	if !ok {
+		return
+	}
+	pos := b.effectivePos(key.obj, at)
+	if b.cond > 0 || pos != at {
+		b.addRegion(key, symRegion{from: pos})
+		return
+	}
+	rhs = ast.Unparen(rhs)
+	// Struct composite literals (possibly behind &) bind each keyed field.
+	if lit := structLit(b.e.info, rhs); lit != nil {
+		b.addRegion(key, symRegion{from: at})
+		b.structLitEvents(key, lit, at)
+		return
+	}
+	region := b.facets(rhs, at)
+	region.from = at
+	b.addRegion(key, region)
+	// A call with definitional field contracts also binds result fields.
+	if call, ok := rhs.(*ast.CallExpr); ok && key.path == "" {
+		b.bindCallFields(key, call, at)
+	}
+}
+
+// structLit unwraps a struct composite literal, possibly behind &.
+func structLit(info *types.Info, x ast.Expr) *ast.CompositeLit {
+	if u, ok := x.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		x = ast.Unparen(u.X)
+	}
+	lit, ok := x.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[lit]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	if _, isStruct := structUnder(tv.Type); !isStruct {
+		return nil
+	}
+	return lit
+}
+
+// structLitEvents records one region per keyed field of a struct literal,
+// recursing into nested struct literals.
+func (b *envBuilder) structLitEvents(key symKey, lit *ast.CompositeLit, at token.Pos) {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // unkeyed literal: fields stay untracked (opaque)
+		}
+		name, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fkey := symKey{key.obj, joinPath(key.path, name.Name)}
+		val := ast.Unparen(kv.Value)
+		if nested := structLit(b.e.info, val); nested != nil {
+			b.addRegion(fkey, symRegion{from: at})
+			b.structLitEvents(fkey, nested, at)
+			continue
+		}
+		region := b.facets(val, at)
+		region.from = at
+		b.addRegion(fkey, region)
+	}
+}
+
+func joinPath(base, name string) string {
+	if base == "" {
+		return name
+	}
+	return base + "." + name
+}
+
+// facets computes what is known about an unconditional assignment's RHS.
+func (b *envBuilder) facets(rhs ast.Expr, at token.Pos) symRegion {
+	e := b.e
+	var r symRegion
+	switch x := rhs.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.UnaryExpr, *ast.StarExpr:
+		if rp, ok := e.rawRefPath(rhs); ok {
+			live := false
+			if tv, ok := e.info.Types[rhs]; ok && tv.Type != nil {
+				_, live = tv.Type.Underlying().(*types.Pointer)
+			}
+			r.alias = &aliasFacet{target: rp, live: live}
+			return r
+		}
+	case *ast.SliceExpr:
+		r.lenVal = e.lenOfExpr(x, at, 0)
+		return r
+	case *ast.CompositeLit:
+		r.lenVal = e.lenOfExpr(x, at, 0)
+		return r
+	case *ast.CallExpr:
+		if calleeBuiltin(e.info, x) == "make" && len(x.Args) >= 2 {
+			r.lenVal = e.intOfExpr(x.Args[1], at, 0)
+			return r
+		}
+		r.lenVal = e.callPoly(x, true, at, 0)
+		if tv, ok := e.info.Types[x]; ok && tv.Type != nil && isIntegerType(tv.Type) {
+			r.intVal = e.callPoly(x, false, at, 0)
+		}
+		return r
+	}
+	if tv, ok := e.info.Types[rhs]; ok && tv.Type != nil && isIntegerType(tv.Type) {
+		r.intVal = e.intOfExpr(rhs, at, 0)
+	}
+	return r
+}
+
+// bindCallFields applies a constructor's definitional field contracts
+// (return.f == ..., len(return.f) == ..., return.f == <param path>) to the
+// freshly assigned result variable.
+func (b *envBuilder) bindCallFields(key symKey, call *ast.CallExpr, at token.Pos) {
+	e := b.e
+	fn := calleeFunc(e.info, call)
+	if fn == nil {
+		return
+	}
+	fc := shapeContractsFor(e.pass, fn)
+	if fc == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Results().Len() == 0 {
+		return
+	}
+	resType := sig.Results().At(0).Type()
+	ctx, ok := e.newSubstCtx(call, fn, at, 0)
+	if !ok {
+		return
+	}
+	for _, c := range fc.def {
+		if c.Op != shapeEq {
+			continue
+		}
+		ref, isRef := c.LHS.(seRef)
+		if !isRef || ref.path[0] != "return" || len(ref.path) < 2 || ref.call {
+			continue
+		}
+		canon, final, ok := canonFieldChain(resType, ref.path[1:], fn.Pkg(), false)
+		if !ok {
+			continue
+		}
+		fkey := symKey{key.obj, joinPath(key.path, strings.Join(canon, "."))}
+		var region symRegion
+		region.from = at
+		switch {
+		case ref.isLen:
+			region.lenVal = ctx.subst(c.RHS)
+		case isIntegerType(final.Type()):
+			region.intVal = ctx.subst(c.RHS)
+		default:
+			// Field-alias contract: return.Win == win. The RHS must be a
+			// plain ref resolving to a caller path.
+			rref, isR := c.RHS.(seRef)
+			if !isR || rref.isLen || rref.call {
+				continue
+			}
+			tgt, live, ok := ctx.refAsPath(rref)
+			if !ok {
+				continue
+			}
+			region.alias = &aliasFacet{target: tgt, live: live}
+		}
+		if region.lenVal != nil || region.intVal != nil || region.alias != nil {
+			b.addRegion(fkey, region)
+		}
+	}
+}
+
+// refAsPath resolves a contract ref to a caller path without evaluating it
+// (for field-alias contracts). live is true when the referent is a pointer.
+func (c *substCtx) refAsPath(ref seRef) (refPath, bool, bool) {
+	e := c.env
+	sig, _ := c.fn.Type().(*types.Signature)
+	if sig == nil {
+		return refPath{}, false, false
+	}
+	head := ref.path[0]
+	arg, isArg := c.args[head]
+	if !isArg {
+		return refPath{}, false, false
+	}
+	rp, ok := e.rawRefPath(arg)
+	if !ok {
+		return refPath{}, false, false
+	}
+	var pt types.Type
+	for i := 0; i < sig.Params().Len(); i++ {
+		if sig.Params().At(i).Name() == head {
+			pt = sig.Params().At(i).Type()
+		}
+	}
+	if pt == nil {
+		return refPath{}, false, false
+	}
+	t := pt
+	if len(ref.path) > 1 {
+		canon, final, ok := canonFieldChain(pt, ref.path[1:], c.fn.Pkg(), false)
+		if !ok {
+			return refPath{}, false, false
+		}
+		rp = rp.child(canon...)
+		t = final.Type()
+	}
+	_, live := t.Underlying().(*types.Pointer)
+	return rp, live, true
+}

@@ -1,0 +1,618 @@
+package analysis
+
+// shapeexpr.go holds the contract grammar and the symbolic algebra behind
+// the shapecheck analyzer (shapecheck.go).
+//
+// A shape contract is one comment line in a function's doc comment:
+//
+//	//soilint:shape <expr> (==|>=) <expr>
+//
+// with the expression grammar
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := factor (('*'|'/') factor)*
+//	factor := INT | '-' factor | '(' expr ')' | 'len' '(' ref ')' | ref
+//	ref    := IDENT ('.' IDENT)* ['(' ')']
+//
+// A ref names a parameter, the receiver (or a field/zero-argument method of
+// the receiver type, with or without the receiver name prefix), or the
+// special name "return" (optionally "return.field") for definitional
+// contracts that describe a constructor's result.
+//
+// Expressions are evaluated into multivariate Laurent polynomials with
+// rational coefficients over opaque atoms (symbolic lengths and integer
+// values the caller could not resolve further). The rational domain is what
+// makes the SOI length algebra decidable here: the oversampling factor
+// µ = nµ/dµ is a rational, so relations like
+//
+//	M' = (NMu/DMu)·M   and   N·NMu/DMu = Chunks·NMu·Segments
+//
+// cancel exactly instead of being lost to integer truncation. Division is
+// exact-only: dividing by a multi-term polynomial yields "unknown" (nil),
+// never an approximation.
+//
+// The decision procedure on a difference polynomial d = lhs - rhs assumes
+// every atom is a nonnegative count (they denote lengths, ranks, segment
+// counts):
+//
+//	d == 0 identically        -> relation proven (for both == and >=)
+//	all coefficients positive -> lhs > rhs wherever any atom is nonzero:
+//	                             proves >=, refutes ==
+//	all coefficients negative -> refutes both == and >=
+//	mixed signs               -> undecidable here: "unprovable"
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// shapeOp is the relational operator of a contract.
+type shapeOp int
+
+const (
+	shapeEq shapeOp = iota // ==
+	shapeGE                // >=
+)
+
+func (op shapeOp) String() string {
+	if op == shapeGE {
+		return ">="
+	}
+	return "=="
+}
+
+// shapeContract is one parsed //soilint:shape line.
+type shapeContract struct {
+	Op   shapeOp
+	LHS  shapeExpr
+	RHS  shapeExpr
+	Text string // the raw contract text, for diagnostics
+}
+
+// mentionsReturn reports whether either side names "return": such contracts
+// are definitional (they describe the callee's result for use by callers)
+// rather than requirements checked at call sites.
+func (c *shapeContract) mentionsReturn() bool {
+	return exprMentionsReturn(c.LHS) || exprMentionsReturn(c.RHS)
+}
+
+// shapeExpr is a node of the contract expression AST.
+type shapeExpr interface{ isShapeExpr() }
+
+// seInt is an integer literal.
+type seInt struct{ v int64 }
+
+// seRef is a dotted name, optionally wrapped in len(...) and optionally a
+// zero-argument method call (trailing "()").
+type seRef struct {
+	path  []string // dotted components; path[0] may be "return"
+	isLen bool     // wrapped in len(...)
+	call  bool     // trailing () on the last component
+}
+
+// seBin is a binary arithmetic node.
+type seBin struct {
+	op   byte // '+', '-', '*', '/'
+	l, r shapeExpr
+}
+
+// seNeg is unary minus.
+type seNeg struct{ x shapeExpr }
+
+func (seInt) isShapeExpr() {}
+func (seRef) isShapeExpr() {}
+func (seBin) isShapeExpr() {}
+func (seNeg) isShapeExpr() {}
+
+func exprMentionsReturn(e shapeExpr) bool {
+	switch e := e.(type) {
+	case seRef:
+		return e.path[0] == "return"
+	case seBin:
+		return exprMentionsReturn(e.l) || exprMentionsReturn(e.r)
+	case seNeg:
+		return exprMentionsReturn(e.x)
+	}
+	return false
+}
+
+// exprString renders a contract expression back to source-like text.
+func exprString(e shapeExpr) string {
+	switch e := e.(type) {
+	case seInt:
+		return strconv.FormatInt(e.v, 10)
+	case seRef:
+		s := strings.Join(e.path, ".")
+		if e.call {
+			s += "()"
+		}
+		if e.isLen {
+			s = "len(" + s + ")"
+		}
+		return s
+	case seNeg:
+		return "-" + exprString(e.x)
+	case seBin:
+		return fmt.Sprintf("(%s %c %s)", exprString(e.l), e.op, exprString(e.r))
+	}
+	return "?"
+}
+
+// ---------------------------------------------------------------------------
+// Contract parser
+// ---------------------------------------------------------------------------
+
+type shapeParser struct {
+	toks []shapeTok
+	pos  int
+}
+
+type shapeTok struct {
+	kind byte   // 'i' int, 'n' ident, or the literal punctuation: + - * / ( ) . = >
+	text string // ident or int text; "==" / ">=" for relops
+}
+
+// lexShape tokenizes a contract line.
+func lexShape(s string) ([]shapeTok, error) {
+	var toks []shapeTok
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c >= '0' && c <= '9':
+			j := i
+			for j < len(s) && s[j] >= '0' && s[j] <= '9' {
+				j++
+			}
+			toks = append(toks, shapeTok{'i', s[i:j]})
+			i = j
+		case isShapeIdentRune(c):
+			j := i
+			for j < len(s) && (isShapeIdentRune(s[j]) || s[j] >= '0' && s[j] <= '9') {
+				j++
+			}
+			toks = append(toks, shapeTok{'n', s[i:j]})
+			i = j
+		case c == '=' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, shapeTok{'=', "=="})
+			i += 2
+		case c == '>' && i+1 < len(s) && s[i+1] == '=':
+			toks = append(toks, shapeTok{'>', ">="})
+			i += 2
+		case c == '+' || c == '-' || c == '*' || c == '/' || c == '(' || c == ')' || c == '.':
+			toks = append(toks, shapeTok{c, string(c)})
+			i++
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(c))
+		}
+	}
+	return toks, nil
+}
+
+func isShapeIdentRune(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+// parseShapeContract parses the text after the soilint:shape directive.
+func parseShapeContract(text string) (*shapeContract, error) {
+	text = strings.TrimSpace(text)
+	toks, err := lexShape(text)
+	if err != nil {
+		return nil, err
+	}
+	p := &shapeParser{toks: toks}
+	lhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	op := shapeEq
+	switch {
+	case p.eat('='):
+	case p.eat('>'):
+		op = shapeGE
+	default:
+		return nil, fmt.Errorf("expected == or >= after %q", exprString(lhs))
+	}
+	rhs, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("trailing tokens after %q", exprString(rhs))
+	}
+	return &shapeContract{Op: op, LHS: lhs, RHS: rhs, Text: text}, nil
+}
+
+func (p *shapeParser) peek() byte {
+	if p.pos < len(p.toks) {
+		return p.toks[p.pos].kind
+	}
+	return 0
+}
+
+func (p *shapeParser) eat(kind byte) bool {
+	if p.peek() == kind {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *shapeParser) expr() (shapeExpr, error) {
+	l, err := p.term()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op byte
+		switch {
+		case p.eat('+'):
+			op = '+'
+		case p.eat('-'):
+			op = '-'
+		default:
+			return l, nil
+		}
+		r, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		l = seBin{op: op, l: l, r: r}
+	}
+}
+
+func (p *shapeParser) term() (shapeExpr, error) {
+	l, err := p.factor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op byte
+		switch {
+		case p.eat('*'):
+			op = '*'
+		case p.eat('/'):
+			op = '/'
+		default:
+			return l, nil
+		}
+		r, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		l = seBin{op: op, l: l, r: r}
+	}
+}
+
+func (p *shapeParser) factor() (shapeExpr, error) {
+	switch p.peek() {
+	case 'i':
+		v, err := strconv.ParseInt(p.toks[p.pos].text, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", p.toks[p.pos].text)
+		}
+		p.pos++
+		return seInt{v: v}, nil
+	case '-':
+		p.pos++
+		x, err := p.factor()
+		if err != nil {
+			return nil, err
+		}
+		return seNeg{x: x}, nil
+	case '(':
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eat(')') {
+			return nil, fmt.Errorf("missing ) after %q", exprString(x))
+		}
+		return x, nil
+	case 'n':
+		name := p.toks[p.pos].text
+		if name == "len" && p.pos+1 < len(p.toks) && p.toks[p.pos+1].kind == '(' {
+			p.pos += 2
+			ref, err := p.ref()
+			if err != nil {
+				return nil, err
+			}
+			if !p.eat(')') {
+				return nil, fmt.Errorf("missing ) in len(...)")
+			}
+			ref.isLen = true
+			if ref.call {
+				return nil, fmt.Errorf("len of a method call is not supported")
+			}
+			return ref, nil
+		}
+		ref, err := p.ref()
+		if err != nil {
+			return nil, err
+		}
+		return ref, nil
+	}
+	return nil, fmt.Errorf("expected a factor")
+}
+
+func (p *shapeParser) ref() (seRef, error) {
+	if p.peek() != 'n' {
+		return seRef{}, fmt.Errorf("expected a name")
+	}
+	ref := seRef{path: []string{p.toks[p.pos].text}}
+	p.pos++
+	for p.eat('.') {
+		if p.peek() != 'n' {
+			return seRef{}, fmt.Errorf("expected a name after '.'")
+		}
+		ref.path = append(ref.path, p.toks[p.pos].text)
+		p.pos++
+	}
+	if p.eat('(') {
+		if !p.eat(')') {
+			return seRef{}, fmt.Errorf("only zero-argument method calls are supported in contracts")
+		}
+		ref.call = true
+	}
+	return ref, nil
+}
+
+// ---------------------------------------------------------------------------
+// Laurent polynomials with rational coefficients over string atoms
+// ---------------------------------------------------------------------------
+
+// shapePoly is a normalized multivariate Laurent polynomial: a sum of terms,
+// each a rational coefficient times a monomial over atoms with (possibly
+// negative) integer exponents. A nil *shapePoly means "unknown" and
+// propagates through every operation. The zero polynomial has no terms.
+type shapePoly struct {
+	terms map[string]*shapeTerm // canonical monomial key -> term
+}
+
+type shapeTerm struct {
+	coef *big.Rat
+	vars map[string]int // atom -> nonzero exponent
+}
+
+// monoKey builds the canonical key of a monomial.
+func monoKey(vars map[string]int) string {
+	if len(vars) == 0 {
+		return ""
+	}
+	atoms := make([]string, 0, len(vars))
+	for a := range vars {
+		atoms = append(atoms, a)
+	}
+	sort.Strings(atoms)
+	var b strings.Builder
+	for _, a := range atoms {
+		b.WriteString(a)
+		b.WriteByte('^')
+		b.WriteString(strconv.Itoa(vars[a]))
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+func newPoly() *shapePoly { return &shapePoly{terms: make(map[string]*shapeTerm)} }
+
+// addTerm folds coef*vars into p, dropping the term if it cancels to zero.
+func (p *shapePoly) addTerm(coef *big.Rat, vars map[string]int) {
+	if coef.Sign() == 0 {
+		return
+	}
+	key := monoKey(vars)
+	if t, ok := p.terms[key]; ok {
+		t.coef.Add(t.coef, coef)
+		if t.coef.Sign() == 0 {
+			delete(p.terms, key)
+		}
+		return
+	}
+	cp := make(map[string]int, len(vars))
+	for a, e := range vars {
+		cp[a] = e
+	}
+	p.terms[key] = &shapeTerm{coef: new(big.Rat).Set(coef), vars: cp}
+}
+
+func polyConst(v int64) *shapePoly {
+	p := newPoly()
+	p.addTerm(new(big.Rat).SetInt64(v), nil)
+	return p
+}
+
+func polyAtom(atom string) *shapePoly {
+	p := newPoly()
+	p.addTerm(big.NewRat(1, 1), map[string]int{atom: 1})
+	return p
+}
+
+func polyAdd(a, b *shapePoly) *shapePoly {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := newPoly()
+	for _, t := range a.terms {
+		out.addTerm(t.coef, t.vars)
+	}
+	for _, t := range b.terms {
+		out.addTerm(t.coef, t.vars)
+	}
+	return out
+}
+
+func polyNeg(a *shapePoly) *shapePoly {
+	if a == nil {
+		return nil
+	}
+	out := newPoly()
+	for _, t := range a.terms {
+		out.addTerm(new(big.Rat).Neg(t.coef), t.vars)
+	}
+	return out
+}
+
+func polySub(a, b *shapePoly) *shapePoly { return polyAdd(a, polyNeg(b)) }
+
+func polyMul(a, b *shapePoly) *shapePoly {
+	if a == nil || b == nil {
+		return nil
+	}
+	out := newPoly()
+	for _, ta := range a.terms {
+		for _, tb := range b.terms {
+			vars := make(map[string]int, len(ta.vars)+len(tb.vars))
+			for at, e := range ta.vars {
+				vars[at] = e
+			}
+			for at, e := range tb.vars {
+				if vars[at] += e; vars[at] == 0 {
+					delete(vars, at)
+				}
+			}
+			out.addTerm(new(big.Rat).Mul(ta.coef, tb.coef), vars)
+		}
+	}
+	return out
+}
+
+// polyDiv divides exactly by a single-term polynomial (the only division the
+// algebra supports: scaling by a rational and shifting exponents). Division
+// by zero or by a multi-term polynomial yields unknown.
+func polyDiv(a, b *shapePoly) *shapePoly {
+	if a == nil || b == nil || len(b.terms) != 1 {
+		return nil
+	}
+	var tb *shapeTerm
+	for _, t := range b.terms {
+		tb = t
+	}
+	inv := new(big.Rat).Inv(tb.coef)
+	out := newPoly()
+	for _, ta := range a.terms {
+		vars := make(map[string]int, len(ta.vars)+len(tb.vars))
+		for at, e := range ta.vars {
+			vars[at] = e
+		}
+		for at, e := range tb.vars {
+			if vars[at] -= e; vars[at] == 0 {
+				delete(vars, at)
+			}
+		}
+		out.addTerm(new(big.Rat).Mul(ta.coef, inv), vars)
+	}
+	return out
+}
+
+// isZero reports whether p is identically zero.
+func (p *shapePoly) isZero() bool { return len(p.terms) == 0 }
+
+// coefSign returns +1 if every coefficient is positive, -1 if every one is
+// negative, and 0 for the zero polynomial or mixed signs.
+func (p *shapePoly) coefSign() int {
+	sign := 0
+	for _, t := range p.terms {
+		s := t.coef.Sign()
+		if sign == 0 {
+			sign = s
+		} else if s != sign {
+			return 0
+		}
+	}
+	return sign
+}
+
+// constValue returns the value of a constant polynomial.
+func (p *shapePoly) constValue() (*big.Rat, bool) {
+	switch len(p.terms) {
+	case 0:
+		return new(big.Rat), true
+	case 1:
+		if t, ok := p.terms[""]; ok {
+			return t.coef, true
+		}
+	}
+	return nil, false
+}
+
+// String renders the polynomial with atoms spelled out, deterministically.
+func (p *shapePoly) String() string {
+	if p == nil {
+		return "?"
+	}
+	if len(p.terms) == 0 {
+		return "0"
+	}
+	keys := make([]string, 0, len(p.terms))
+	for k := range p.terms {
+		keys = append(keys, k)
+	}
+	// Constant term first, then monomials in key order.
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		t := p.terms[k]
+		neg := t.coef.Sign() < 0
+		if i == 0 {
+			if neg {
+				b.WriteByte('-')
+			}
+		} else if neg {
+			b.WriteString(" - ")
+		} else {
+			b.WriteString(" + ")
+		}
+		b.WriteString(termString(t))
+	}
+	return b.String()
+}
+
+func termString(t *shapeTerm) string {
+	abs := new(big.Rat).Abs(t.coef)
+	var num, den []string
+	atoms := make([]string, 0, len(t.vars))
+	for a := range t.vars {
+		atoms = append(atoms, a)
+	}
+	sort.Strings(atoms)
+	for _, a := range atoms {
+		e := t.vars[a]
+		part := a
+		if e > 1 || e < -1 {
+			part = fmt.Sprintf("%s^%d", a, abs64(e))
+		}
+		if e > 0 {
+			num = append(num, part)
+		} else {
+			den = append(den, part)
+		}
+	}
+	var b strings.Builder
+	one := abs.Num().IsInt64() && abs.Num().Int64() == 1 && abs.IsInt()
+	if !one || len(num) == 0 {
+		b.WriteString(abs.RatString())
+		if len(num) > 0 {
+			b.WriteByte('*')
+		}
+	}
+	b.WriteString(strings.Join(num, "*"))
+	for _, d := range den {
+		b.WriteByte('/')
+		b.WriteString(d)
+	}
+	return b.String()
+}
+
+func abs64(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+)
+
+// TestParseShapeContract covers the contract grammar: both relations, the
+// full reference forms (dotted paths, len(...), trailing ()), precedence,
+// and the rejection diagnostics for malformed text.
+func TestParseShapeContract(t *testing.T) {
+	valid := []struct {
+		text     string
+		op       shapeOp
+		lhs, rhs string // exprString renderings
+	}{
+		{"len(dst) == len(src)", shapeEq, "len(dst)", "len(src)"},
+		{"len(dst) >= p.N", shapeGE, "len(dst)", "p.N"},
+		{"return == N / Segments", shapeEq, "return", "(N / Segments)"},
+		{"return == N * NMu / (Segments * DMu)", shapeEq, "return", "((N * NMu) / (Segments * DMu))"},
+		{"len(u) >= (c1 - c0) * p.NMu * p.Segments", shapeGE, "len(u)", "(((c1 - c0) * p.NMu) * p.Segments)"},
+		{"len(local) >= n / c.Size()", shapeGE, "len(local)", "(n / c.Size())"},
+		{"len(return) == len(src) + ghost", shapeEq, "len(return)", "(len(src) + ghost)"},
+		{"len(x) >= -1 + len(y)", shapeGE, "len(x)", "(-1 + len(y))"},
+		{"len(x) >= 2*len(y) - 7", shapeGE, "len(x)", "((2 * len(y)) - 7)"},
+	}
+	for _, tt := range valid {
+		c, err := parseShapeContract(tt.text)
+		if err != nil {
+			t.Errorf("parseShapeContract(%q): %v", tt.text, err)
+			continue
+		}
+		if c.Op != tt.op {
+			t.Errorf("parseShapeContract(%q).Op = %v, want %v", tt.text, c.Op, tt.op)
+		}
+		if got := exprString(c.LHS); got != tt.lhs {
+			t.Errorf("parseShapeContract(%q).LHS = %s, want %s", tt.text, got, tt.lhs)
+		}
+		if got := exprString(c.RHS); got != tt.rhs {
+			t.Errorf("parseShapeContract(%q).RHS = %s, want %s", tt.text, got, tt.rhs)
+		}
+		if c.Text != tt.text {
+			t.Errorf("parseShapeContract(%q).Text = %q", tt.text, c.Text)
+		}
+	}
+
+	invalid := []struct{ text, wantErr string }{
+		{"", "expected a factor"},
+		{"len(dst)", "expected == or >="},    // no relation
+		{"len(dst) > p.N", "unexpected"},     // bare > is not a relation
+		{"len(dst) >< p.N", "unexpected"},    // the fixture's malformed form
+		{"len(dst) == p.N == 2", "trailing"}, // chained relation
+		{"len() == 2", "expected a name"},    // len of nothing
+		{"dst..x == 2", "name after '.'"},    // empty path component
+		{"len(dst == 2", "missing )"},        // unclosed len
+		{"(a + b == 2", "missing )"},         // unclosed paren
+		{"a % b == 2", "unexpected"},         // unsupported operator
+	}
+	for _, tt := range invalid {
+		c, err := parseShapeContract(tt.text)
+		if err == nil {
+			t.Errorf("parseShapeContract(%q) = %v, want error", tt.text, c)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantErr) {
+			t.Errorf("parseShapeContract(%q) error %q does not mention %q", tt.text, err, tt.wantErr)
+		}
+	}
+}
+
+// TestContractMentionsReturn covers the definitional/requirement split.
+func TestContractMentionsReturn(t *testing.T) {
+	tests := []struct {
+		text string
+		want bool
+	}{
+		{"return == N / Segments", true},
+		{"len(return) == len(src) + ghost", true},
+		{"len(return.Re) == n", true},
+		{"len(dst) >= p.N", false},
+		{"len(a) == len(b)", false},
+	}
+	for _, tt := range tests {
+		c, err := parseShapeContract(tt.text)
+		if err != nil {
+			t.Fatalf("parseShapeContract(%q): %v", tt.text, err)
+		}
+		if got := c.mentionsReturn(); got != tt.want {
+			t.Errorf("mentionsReturn(%q) = %v, want %v", tt.text, got, tt.want)
+		}
+	}
+}
+
+// TestShapePolyAlgebra covers the symbolic arithmetic the evaluator rests
+// on: cancellation, exact rational division, exponent bookkeeping, and the
+// sign/constant classifiers used to decide proven/refuted/undecided.
+func TestShapePolyAlgebra(t *testing.T) {
+	n, s := polyAtom("N"), polyAtom("S")
+
+	// (N/S)*S - N cancels to zero: the M()*Segments == N identity.
+	m := polyDiv(n, s)
+	if diff := polySub(polyMul(m, s), n); !diff.isZero() {
+		t.Errorf("(N/S)*S - N = %s, want 0", diff)
+	}
+
+	// Exact rationals: N*8/7 keeps the 8/7 coefficient, and subtracting
+	// 8/7*N cancels. This is the mu = NMu/DMu oversampling algebra.
+	mu := polyDiv(polyMul(n, polyConst(8)), polyConst(7))
+	want := newPoly()
+	want.addTerm(big.NewRat(8, 7), map[string]int{"N": 1})
+	if diff := polySub(mu, want); !diff.isZero() {
+		t.Errorf("N*8/7 = %s, want %s", mu, want)
+	}
+
+	// Division by a non-monomial is unknown, not wrong.
+	if q := polyDiv(n, polyAdd(n, s)); q != nil {
+		t.Errorf("N/(N+S) = %s, want unknown", q)
+	}
+	if q := polyDiv(n, polyConst(0)); q != nil {
+		// 1/0 inverts to a panic-free nil through the zero-coefficient guard.
+		t.Errorf("N/0 = %s, want unknown", q)
+	}
+
+	// coefSign drives the >= decision: all-positive proves, all-negative
+	// refutes, mixed is undecided.
+	if got := polyAdd(n, polyConst(3)).coefSign(); got != 1 {
+		t.Errorf("coefSign(N+3) = %d, want 1", got)
+	}
+	if got := polyNeg(polyAdd(n, polyConst(3))).coefSign(); got != -1 {
+		t.Errorf("coefSign(-N-3) = %d, want -1", got)
+	}
+	if got := polySub(n, s).coefSign(); got != 0 {
+		t.Errorf("coefSign(N-S) = %d, want 0", got)
+	}
+	if got := newPoly().coefSign(); got != 0 {
+		t.Errorf("coefSign(0) = %d, want 0", got)
+	}
+
+	// constValue grounds fully-substituted relations.
+	if v, ok := polyConst(448).constValue(); !ok || v.Cmp(big.NewRat(448, 1)) != 0 {
+		t.Errorf("constValue(448) = %v, %v", v, ok)
+	}
+	if _, ok := n.constValue(); ok {
+		t.Errorf("constValue(N) should not be constant")
+	}
+
+	// Exponents cancel through mul/div: (N*N)/N = N.
+	if diff := polySub(polyDiv(polyMul(n, n), n), n); !diff.isZero() {
+		t.Errorf("(N*N)/N - N = %s, want 0", diff)
+	}
+
+	// String is deterministic and spells atoms out.
+	e := polyAdd(polyMul(polyConst(2), n), polyNeg(s))
+	if got := e.String(); got != "2*N - S" && got != "-S + 2*N" {
+		// Accept either canonical ordering but require both terms present.
+		if !strings.Contains(got, "N") || !strings.Contains(got, "S") {
+			t.Errorf("String(2N - S) = %q, missing atoms", got)
+		}
+	}
+	s1, s2 := e.String(), e.String()
+	if s1 != s2 {
+		t.Errorf("String not deterministic: %q vs %q", s1, s2)
+	}
+}
+
+// TestShapeCheckDiagnostics pins the diagnostic text itself: a refuted call
+// names the violated relation with both the computed and required side, and
+// unprovable calls surface as notes, never findings.
+func TestShapeCheckDiagnostics(t *testing.T) {
+	pkg, err := loaderFor(t).LoadDir(fixtureDir("shapecheck"))
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	active, _, notes := Run(pkg, []*Analyzer{ShapeCheck})
+
+	wantActive := map[int]string{
+		96:  `call to shapecheck.forward violates shape contract "len(dst) >= p.N": len(dst) = 448, want >= 3584`,
+		102: `call to shapecheck.finish violates shape contract "len(tf) >= p.N * p.NMu / (p.Segments * p.DMu)": len(tf) = 448, want >= 512`,
+		104: `call to shapecheck.sameLen violates shape contract "len(a) == len(b)": len(a) = 448, want == 3584`,
+		138: `call to shapecheck.scatter violates shape contract "len(local) >= n / c.Size()": len(local) = 256, want >= 512`,
+		144: `malformed //soilint:shape contract "len(dst) >< p.N": unexpected character ">"`,
+	}
+	found := map[int]bool{}
+	for _, d := range active {
+		if msg, ok := wantActive[d.Line]; ok {
+			found[d.Line] = true
+			if d.Message != msg {
+				t.Errorf("line %d message:\n got %q\nwant %q", d.Line, d.Message, msg)
+			}
+		}
+	}
+	for line := range wantActive {
+		if !found[line] {
+			t.Errorf("no active finding at line %d", line)
+		}
+	}
+
+	// The opaque() calls at line 154 are notes — present under -v, never
+	// findings — and every note says "cannot prove".
+	noteLines := map[int]int{}
+	for _, d := range notes {
+		noteLines[d.Line]++
+		if !strings.Contains(d.Message, "cannot prove shape contract") {
+			t.Errorf("note at line %d has unexpected message %q", d.Line, d.Message)
+		}
+	}
+	if noteLines[154] != 2 {
+		t.Errorf("want 2 notes at line 154 (both opaque contracts), got %d", noteLines[154])
+	}
+	for _, d := range active {
+		if d.Line == 154 {
+			t.Errorf("opaque call at line 154 must not be an active finding: %s", d.Message)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+// Package shapecheck exercises the symbolic shape-contract analyzer over a
+// miniature rendition of the SOI length algebra. The concrete parameters
+// ground every relation to integers: N=3584, Segments=8, mu=8/7, B=72, so
+// M=448, M'=512, Chunks=64, Ghost=(72-7)*8=520.
+package shapecheck
+
+type params struct {
+	N        int
+	Segments int
+	NMu, DMu int
+	B        int
+}
+
+// M returns the per-segment length.
+//
+//soilint:shape return == N / Segments
+func (p params) M() int { return p.N / p.Segments }
+
+// MPrime returns the oversampled per-segment length.
+//
+//soilint:shape return == N * NMu / (Segments * DMu)
+func (p params) MPrime() int { return p.M() / p.DMu * p.NMu }
+
+// Chunks returns the chunk count.
+//
+//soilint:shape return == N / (Segments * DMu)
+func (p params) Chunks() int { return p.M() / p.DMu }
+
+// Ghost returns the ghost-region length.
+//
+//soilint:shape return == (B - DMu) * Segments
+func (p params) Ghost() int { return (p.B - p.DMu) * p.Segments }
+
+// forward requires full-length buffers.
+//
+//soilint:shape len(dst) >= p.N
+//soilint:shape len(src) >= p.N
+func forward(p params, dst, src []complex128) {}
+
+// convolve requires the oversampled output span and the ghosted input span.
+//
+//soilint:shape len(u) >= (c1 - c0) * p.NMu * p.Segments
+//soilint:shape len(x) >= (c1 - 1 - c0) * p.DMu * p.Segments + p.B * p.Segments
+func convolve(p params, u, x []complex128, c0, c1 int) {}
+
+// finish requires one segment of output and M' of input.
+//
+//soilint:shape len(dst) >= p.N / p.Segments
+//soilint:shape len(tf) >= p.N * p.NMu / (p.Segments * p.DMu)
+func finish(p params, dst, tf []complex128) {}
+
+// sameLen is an equality contract.
+//
+//soilint:shape len(a) == len(b)
+func sameLen(a, b []complex128) float64 { return 0 }
+
+// grow returns src extended by ghost elements (a definitional contract on
+// the result length, expanded at call sites).
+//
+//soilint:shape len(return) == len(src) + ghost
+func grow(src []complex128, ghost int) []complex128 {
+	out := make([]complex128, len(src)+ghost)
+	copy(out, src)
+	return out
+}
+
+func demo() params { return params{N: 3584, Segments: 8, NMu: 8, DMu: 7, B: 72} }
+
+// proven exercises the clean paths: every call below is provable from the
+// contracts plus local slice arithmetic, and must stay silent.
+func proven() {
+	p := demo()
+	dst := make([]complex128, p.N)
+	src := make([]complex128, p.N)
+	forward(p, dst, src)
+
+	u := make([]complex128, p.MPrime()*p.Segments)
+	x := grow(src, p.Ghost())
+	convolve(p, u, x, 0, p.Chunks())
+
+	m := p.M()
+	tf := make([]complex128, p.MPrime())
+	for f := 0; f < p.Segments; f++ {
+		finish(p, dst[f*m:(f+1)*m], tf)
+	}
+	sameLen(dst, src)
+}
+
+// violations exercises the refutation paths: the composite literal binds
+// every parameter field to a constant, so each violated relation grounds to
+// integers of the wrong sign.
+func violations() {
+	p := params{N: 3584, Segments: 8, NMu: 8, DMu: 7, B: 72}
+	short := make([]complex128, p.M()) // 448
+	src := make([]complex128, p.N)
+	forward(p, short, src) // len(dst) = 448 < 3584
+
+	u := make([]complex128, p.N)       // 3584: M-sized where M'-sized is needed
+	convolve(p, u, src, 0, p.Chunks()) // len(u) 3584 < 4096; len(x) 3584 < 4104
+
+	tf := make([]complex128, p.M()) // 448, want M' = 512
+	finish(p, short, tf)            // len(tf) refuted; len(dst) 448 >= 448 proven
+
+	sameLen(short, src) // 448 == 3584 refuted
+}
+
+// waived is the same under-sized call with an in-tree justification.
+func waived() {
+	p := params{N: 3584, Segments: 8, NMu: 8, DMu: 7, B: 72}
+	short := make([]complex128, p.M())
+	src := make([]complex128, p.N)
+	forward(p, short, src) //soilint:ignore shapecheck deliberately under-sized: suppression fixture
+}
+
+type comm interface{ Size() int }
+
+type fixedComm struct{}
+
+// Size returns the fixed world size.
+//
+//soilint:shape return == 2
+func (fixedComm) Size() int { return 2 }
+
+// scatter requires a per-rank share of an n-element vector.
+//
+//soilint:shape len(local) >= n / c.Size()
+func scatter(c comm, local []complex128, n int) {}
+
+// world proves one scatter and refutes another: c.Size() resolves through
+// the interface to the concrete fixedComm contract via the alias chain.
+func world() {
+	fc := fixedComm{}
+	var c comm = fc
+	ok := make([]complex128, 512)
+	scatter(c, ok, 1024) // proven: 512 >= 1024/2
+
+	bad := make([]complex128, 256)
+	scatter(c, bad, 1024) // 256 < 512
+}
+
+// broken carries a malformed contract (unparsable relation).
+//
+//soilint:shape len(dst) >< p.N
+func broken(p params, dst []complex128) {}
+
+// unknown references a name that is neither a parameter nor a field.
+//
+//soilint:shape len(dst) >= bogus * 2
+func unknown(p params, dst []complex128) {}
+
+// opaque passes a parameter of unknown length: the calls are neither proven
+// nor refuted and surface as informational notes only.
+func opaque(p params, dst []complex128) {
+	forward(p, dst, dst)
+}

@@ -77,15 +77,20 @@ func expi(theta float64) complex128 {
 }
 
 // LocalN returns the per-rank block length N/P.
+//
+//soilint:shape return == m
 func (ct *CT) LocalN() int { return ct.m }
 
 // Forward computes this rank's block of the in-order spectrum from its
 // block of the input. dst must not alias src: rows are streamed out of src
 // while dst fills in transposed order (soilint's bufalias check enforces
 // this at call sites).
+//
+//soilint:shape len(dst) >= m
+//soilint:shape len(src) >= m
 func (ct *CT) Forward(dst, src []complex128) error {
 	if len(src) < ct.m || len(dst) < ct.m {
-		return fmt.Errorf("dist: CT buffers too short: need %d", ct.m)
+		return &ShapeError{What: "CT buffers too short", Got: min(len(src), len(dst)), Want: ct.m}
 	}
 	src, dst = src[:ct.m], dst[:ct.m]
 	world := ct.comm.Size()

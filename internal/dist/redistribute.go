@@ -16,6 +16,8 @@ import (
 // BlockToCyclic converts this rank's block of a block-distributed vector
 // into its share of the cyclic distribution. localN must be equal on all
 // ranks and divisible by the world size.
+//
+//soilint:shape len(return) == len(local)
 func BlockToCyclic(c mpi.Comm, local []complex128) ([]complex128, error) {
 	p := c.Size()
 	localN := len(local)
@@ -48,7 +50,7 @@ func BlockToCyclic(c mpi.Comm, local []complex128) ([]complex128, error) {
 	out := make([]complex128, localN)
 	for s := 0; s < p; s++ {
 		if len(recv[s]) != per {
-			return nil, fmt.Errorf("dist: redistribution block from %d has %d elements, want %d", s, len(recv[s]), per)
+			return nil, &ShapeError{What: fmt.Sprintf("redistribution block from %d elements", s), Got: len(recv[s]), Want: per}
 		}
 		copy(out[s*per:], recv[s])
 	}
@@ -56,6 +58,8 @@ func BlockToCyclic(c mpi.Comm, local []complex128) ([]complex128, error) {
 }
 
 // CyclicToBlock is the inverse of BlockToCyclic.
+//
+//soilint:shape len(return) == len(local)
 func CyclicToBlock(c mpi.Comm, local []complex128) ([]complex128, error) {
 	p := c.Size()
 	localN := len(local)
@@ -80,7 +84,7 @@ func CyclicToBlock(c mpi.Comm, local []complex128) ([]complex128, error) {
 	out := make([]complex128, localN)
 	for s := 0; s < p; s++ {
 		if len(recv[s]) != per {
-			return nil, fmt.Errorf("dist: redistribution block from %d has %d elements, want %d", s, len(recv[s]), per)
+			return nil, &ShapeError{What: fmt.Sprintf("redistribution block from %d elements", s), Got: len(recv[s]), Want: per}
 		}
 		off := ((s-r*localN)%p + p) % p
 		for k, v := range recv[s] {

@@ -58,6 +58,8 @@ func NewSOI(c mpi.Comm, p window.Params, opts soi.Options) (*SOI, error) {
 // communicator, sharing its (expensive) window design and FFT sub-plans.
 // The plan must not be mutated; it is safe to share one plan across many
 // ranks of an in-process world and across repeated transforms.
+//
+//soilint:shape return.localN == plan.Win.N / c.Size()
 func NewSOIFromPlan(c mpi.Comm, plan *soi.Plan) (*SOI, error) {
 	p := plan.Win.Params
 	world := c.Size()
@@ -88,6 +90,8 @@ func NewSOIFromPlan(c mpi.Comm, plan *soi.Plan) (*SOI, error) {
 func (d *SOI) Params() window.Params { return d.plan.Win.Params }
 
 // LocalN returns the per-rank input/output length N/P.
+//
+//soilint:shape return == localN
 func (d *SOI) LocalN() int { return d.localN }
 
 // EstimatedError returns the designed alias bound.
@@ -103,10 +107,13 @@ const (
 // must not alias src: the pipelined finish writes dst while ghost rows of
 // src may still be read (soilint's bufalias check enforces this at call
 // sites).
+//
+//soilint:shape len(dst) >= localN
+//soilint:shape len(src) >= localN
 func (d *SOI) Forward(dst, src []complex128) error {
 	p := d.plan.Win.Params
 	if len(src) < d.localN || len(dst) < d.localN {
-		return fmt.Errorf("dist: buffers too short: need %d", d.localN)
+		return &ShapeError{What: "buffers too short", Got: min(len(src), len(dst)), Want: d.localN}
 	}
 	src, dst = src[:d.localN], dst[:d.localN]
 
@@ -133,9 +140,12 @@ func (d *SOI) Forward(dst, src []complex128) error {
 // conjugation identity IFFT(x) = conj(SOI(conj(x)))/N. The conjugations are
 // purely rank-local, so the distributed structure is identical to Forward.
 // Like Forward, dst must not alias src.
+//
+//soilint:shape len(dst) >= localN
+//soilint:shape len(src) >= localN
 func (d *SOI) Inverse(dst, src []complex128) error {
 	if len(src) < d.localN || len(dst) < d.localN {
-		return fmt.Errorf("dist: buffers too short: need %d", d.localN)
+		return &ShapeError{What: "buffers too short", Got: min(len(src), len(dst)), Want: d.localN}
 	}
 	cc := make([]complex128, d.localN)
 	for i, v := range src[:d.localN] {
@@ -174,7 +184,7 @@ func (d *SOI) exchangeGhost(src []complex128) ([]complex128, error) {
 			return nil, err
 		}
 		if len(got) != l {
-			return nil, fmt.Errorf("dist: ghost piece %d has %d elems, want %d", j, len(got), l)
+			return nil, &ShapeError{What: fmt.Sprintf("ghost piece %d elems", j), Got: len(got), Want: l}
 		}
 		copy(xx[d.localN+(ghost-remaining):], got)
 		remaining -= l
@@ -252,7 +262,7 @@ func (d *SOI) finishGroup(dst []complex128, res arrived, mp, m int) error {
 	tf := make([]complex128, mp)
 	for src, blk := range res.blocks {
 		if len(blk) != d.rowsPerRank {
-			return fmt.Errorf("dist: block from rank %d has %d rows, want %d", src, len(blk), d.rowsPerRank)
+			return &ShapeError{What: fmt.Sprintf("block from rank %d rows", src), Got: len(blk), Want: d.rowsPerRank}
 		}
 		copy(tf[src*d.rowsPerRank:], blk)
 	}

@@ -46,6 +46,8 @@ type stage struct {
 }
 
 // NewPlan creates a transform plan for length n (n >= 1).
+//
+//soilint:shape return.n == n
 func NewPlan(n int) (*Plan, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("fft: invalid transform length %d", n)
@@ -82,6 +84,8 @@ func MustPlan(n int) *Plan {
 }
 
 // N returns the transform length.
+//
+//soilint:shape return == n
 func (p *Plan) N() int { return p.n }
 
 // factorize splits n into the radix schedule used by the Stockham kernel.
@@ -156,6 +160,9 @@ func (p *Plan) putWork(b []complex128) {
 // Transform computes the DFT of src into dst. dst and src must both have
 // length >= p.N(); dst may alias src (in-place). Forward is unnormalized;
 // Inverse applies the 1/n scaling.
+//
+//soilint:shape len(dst) >= n
+//soilint:shape len(src) >= n
 func (p *Plan) Transform(dst, src []complex128, dir Direction) {
 	n := p.n
 	if len(dst) < n || len(src) < n {
@@ -197,9 +204,15 @@ func (p *Plan) Transform(dst, src []complex128, dir Direction) {
 }
 
 // Forward computes the unnormalized forward DFT of src into dst.
+//
+//soilint:shape len(dst) >= n
+//soilint:shape len(src) >= n
 func (p *Plan) Forward(dst, src []complex128) { p.Transform(dst, src, Forward) }
 
 // Inverse computes the normalized (1/n) inverse DFT of src into dst.
+//
+//soilint:shape len(dst) >= n
+//soilint:shape len(src) >= n
 func (p *Plan) Inverse(dst, src []complex128) { p.Transform(dst, src, Inverse) }
 
 // stockham runs the mixed-radix autosort pipeline. The two ping-pong buffers

@@ -71,6 +71,8 @@ func NewPlan(p window.Params, opts Options) (*Plan, error) {
 
 // NewPlanFromFilter builds a plan around an existing (e.g. deserialized)
 // window design, skipping the design search.
+//
+//soilint:shape return.Win == win
 func NewPlanFromFilter(win *window.Filter, opts Options) (*Plan, error) {
 	pl := &Plan{Win: win, opts: opts}
 	fp, err := fft.NewBatch(win.Segments, opts.Workers)
@@ -107,6 +109,9 @@ func (pl *Plan) EstimatedError() float64 { return pl.Win.AliasBound() }
 
 // Forward computes the in-order forward DFT of src (length N) into dst.
 // dst must not alias src.
+//
+//soilint:shape len(dst) >= Win.N
+//soilint:shape len(src) >= Win.N
 func (pl *Plan) Forward(dst, src []complex128) error {
 	p := pl.Win.Params
 	if len(src) < p.N || len(dst) < p.N {
@@ -135,6 +140,9 @@ func (pl *Plan) Forward(dst, src []complex128) error {
 
 // Inverse computes the normalized inverse DFT via the conjugation identity
 // IFFT(x) = conj(SOI(conj(x)))/N, inheriting SOI's accuracy.
+//
+//soilint:shape len(dst) >= Win.N
+//soilint:shape len(src) >= Win.N
 func (pl *Plan) Inverse(dst, src []complex128) error {
 	n := pl.Win.N
 	cc := make([]complex128, n)
@@ -152,6 +160,8 @@ func (pl *Plan) Inverse(dst, src []complex128) error {
 }
 
 // withGhost returns src extended circularly by ghost elements.
+//
+//soilint:shape len(return) == len(src) + ghost
 func withGhost(src []complex128, ghost int) []complex128 {
 	n := len(src)
 	xx := make([]complex128, n+ghost)
@@ -167,6 +177,9 @@ func withGhost(src []complex128, ghost int) []complex128 {
 // conv.InputLen) followed by in-place Segments-point FFTs over the produced
 // blocks. u receives (c1-c0)*NMu*Segments values. This is exactly the
 // node-local pre-exchange work of a distributed rank.
+//
+//soilint:shape len(u) >= (c1 - c0) * Win.NMu * Win.Segments
+//soilint:shape len(xWithGhost) >= (c1 - 1 - c0) * Win.DMu * Win.Segments + Win.B * Win.Segments
 func (pl *Plan) ConvolveAndFP(u, xWithGhost []complex128, c0, c1 int) {
 	p := pl.Win.Params
 	conv.Apply(pl.opts.ConvVariant, pl.Win, u, xWithGhost, c0, c1, pl.opts.Workers)
@@ -177,7 +190,11 @@ func (pl *Plan) ConvolveAndFP(u, xWithGhost []complex128, c0, c1 int) {
 // FinishSegment runs stages 4 and 5 for one segment: the M'-point FFT of
 // tf, projection to the top M bins, and demodulation by W^-1, writing the
 // M in-order spectrum values of the segment into dst. scratch must have
-// length >= M' (pass nil to allocate).
+// length >= M' (pass nil to allocate; nil keeps scratch outside the shape
+// contracts below).
+//
+//soilint:shape len(dst) >= Win.N / Win.Segments
+//soilint:shape len(tf) >= Win.N * Win.NMu / (Win.Segments * Win.DMu)
 func (pl *Plan) FinishSegment(dst, tf, scratch []complex128) {
 	p := pl.Win.Params
 	mp := p.MPrime()

@@ -79,9 +79,14 @@ func (p Params) Validate() error {
 }
 
 // M returns the per-segment output length N/Segments.
+//
+//soilint:shape return == N / Segments
 func (p Params) M() int { return p.N / p.Segments }
 
-// MPrime returns the oversampled per-segment length mu*M.
+// MPrime returns the oversampled per-segment length mu*M. (Validate
+// guarantees the divisions below are exact, so the symbolic form holds.)
+//
+//soilint:shape return == N * NMu / (Segments * DMu)
 func (p Params) MPrime() int { return p.M() / p.DMu * p.NMu }
 
 // Mu returns the oversampling factor as a float.
@@ -89,15 +94,22 @@ func (p Params) Mu() float64 { return float64(p.NMu) / float64(p.DMu) }
 
 // Chunks returns the total number of convolution chunks M/DMu; each chunk
 // emits NMu*Segments outputs and advances the input by DMu*Segments.
+//
+//soilint:shape return == N / (Segments * DMu)
 func (p Params) Chunks() int { return p.M() / p.DMu }
 
 // TapsLen returns the prototype filter length B*Segments.
+//
+//soilint:shape return == B * Segments
 func (p Params) TapsLen() int { return p.B * p.Segments }
 
 // GhostElems returns the number of input elements the owner of a chunk
 // range must read beyond its own data: (B-DMu)*Segments (the
 // nearest-neighbour "ghost values" of Fig. 2; tens of KB in the paper's
-// configurations).
+// configurations). The symbolic form assumes B >= DMu, which Validate
+// enforces (the runtime clamp to zero is unreachable for valid parameters).
+//
+//soilint:shape return == (B - DMu) * Segments
 func (p Params) GhostElems() int {
 	g := (p.B - p.DMu) * p.Segments
 	if g < 0 {

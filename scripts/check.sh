@@ -1,6 +1,7 @@
 #!/bin/sh
-# Tier-2 pre-PR gate: build, vet, repo-native static analysis, the
-# compiler escape-budget gate on the hot kernels, and the race-clean
+# Tier-2 pre-PR gate: build, vet, repo-native static analysis (including
+# the shapecheck symbolic length contracts), the compiler escape- and
+# bounds-check-budget gates on the hot kernels, and the race-clean
 # concurrency gate over the packages that spawn goroutines. Tier-1
 # (go build ./... && go test ./...) must of course also pass; this script
 # layers the discipline checks on top.
@@ -35,6 +36,7 @@ run_gate "go build ./..." go build ./...
 run_gate "go vet ./..." go vet ./...
 run_gate "soilint ./..." go run ./cmd/soilint ./...
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
+run_gate "bcebudget (bounds-check gate)" go run ./cmd/bcebudget
 run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist
 
 if [ -n "$failures" ]; then
