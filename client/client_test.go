@@ -1,0 +1,47 @@
+package client
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"soifft/internal/wire"
+)
+
+func TestParseStats(t *testing.T) {
+	m := ParseStats("soifftd_completed_total 42\nsoifftd_mean_batch_size 3.5\n\nmalformed\nbad_value x\n")
+	if m["soifftd_completed_total"] != 42 {
+		t.Errorf("completed_total = %v", m["soifftd_completed_total"])
+	}
+	if m["soifftd_mean_batch_size"] != 3.5 {
+		t.Errorf("mean_batch_size = %v", m["soifftd_mean_batch_size"])
+	}
+	if len(m) != 2 {
+		t.Errorf("parsed %d entries, want 2: %v", len(m), m)
+	}
+	names := StatsNames(m)
+	if len(names) != 2 || names[0] != "soifftd_completed_total" {
+		t.Errorf("StatsNames = %v", names)
+	}
+}
+
+func TestTransformArgChecks(t *testing.T) {
+	// Argument validation happens before any I/O, so a nil-conn client is
+	// fine for these.
+	c := &Client{}
+	ctx := context.Background()
+	if err := c.Batch(ctx, make([]complex128, 8), make([]complex128, 7), 1, false); err == nil ||
+		!strings.Contains(err.Error(), "len(dst)") {
+		t.Errorf("mismatched lengths: %v", err)
+	}
+	if err := c.Batch(ctx, make([]complex128, 8), make([]complex128, 8), 3, false); err == nil ||
+		!strings.Contains(err.Error(), "count") {
+		t.Errorf("non-dividing count: %v", err)
+	}
+}
+
+func TestAlgConstantsMatchWire(t *testing.T) {
+	if Auto != wire.AlgAuto || Exact != wire.AlgExact || SOI != wire.AlgSOI {
+		t.Fatal("re-exported algorithm selectors diverged from wire")
+	}
+}

@@ -1,0 +1,219 @@
+// Command soiload is a closed-loop load generator for soifftd.
+//
+// It opens -c connections, runs -pipeline concurrent request loops on each
+// (pipelining is what gives the server same-length requests to coalesce),
+// and after a warmup reports client-side latency percentiles, throughput,
+// and the server-side deltas that show whether batching engaged: mean
+// executed batch width and the queue-wait/plan/execute/serialize phase
+// split.
+//
+//	soiload -addr localhost:7311 -n 64 -c 8 -pipeline 4 -duration 10s
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"soifft/client"
+)
+
+type result struct {
+	N         int     `json:"n"`
+	Count     int     `json:"count"`
+	Alg       string  `json:"alg"`
+	Conns     int     `json:"conns"`
+	Pipeline  int     `json:"pipeline"`
+	DurationS float64 `json:"duration_s"`
+	Ops       int64   `json:"ops"`
+	Errors    int64   `json:"errors"`
+	OpsPerSec float64 `json:"ops_per_s"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	MeanUs    float64 `json:"mean_us"`
+
+	// Server-side deltas over the measurement window.
+	ServerMeanBatch float64            `json:"server_mean_batch"`
+	ServerMaxBatch  float64            `json:"server_max_batch"`
+	ServerShed      float64            `json:"server_shed"`
+	PhaseSeconds    map[string]float64 `json:"phase_seconds"`
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7311", "soifftd address")
+		n        = flag.Int("n", 64, "transform length per request")
+		count    = flag.Int("count", 1, "transforms per request frame (TBatch when > 1)")
+		conns    = flag.Int("c", 8, "connections")
+		pipeline = flag.Int("pipeline", 4, "concurrent request loops per connection")
+		duration = flag.Duration("duration", 10*time.Second, "measurement window")
+		warmup   = flag.Duration("warmup", 2*time.Second, "warmup before measuring")
+		inverse  = flag.Bool("inverse", false, "issue inverse transforms")
+		algName  = flag.String("alg", "auto", "algorithm: auto, exact, soi")
+		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
+	)
+	flag.Parse()
+
+	var alg client.Alg
+	switch *algName {
+	case "auto":
+		alg = client.Auto
+	case "exact":
+		alg = client.Exact
+	case "soi":
+		alg = client.SOI
+	default:
+		log.Fatalf("soiload: unknown -alg %q", *algName)
+	}
+
+	if err := client.WaitReady(*addr, 10*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	statsCl, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer statsCl.Close()
+
+	src := make([]complex128, *n**count)
+	rng := rand.New(rand.NewSource(1))
+	for i := range src {
+		src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+
+	var (
+		recording atomic.Bool
+		stop      atomic.Bool
+		ops       atomic.Int64
+		errs      atomic.Int64
+		latMu     sync.Mutex
+		lats      []time.Duration
+	)
+	worker := func(cl *client.Client) {
+		dst := make([]complex128, len(src))
+		local := make([]time.Duration, 0, 4096)
+		ctx := context.Background()
+		for !stop.Load() {
+			t0 := time.Now()
+			err := cl.Batch(ctx, dst, src, *count, *inverse)
+			lat := time.Since(t0)
+			if !recording.Load() {
+				continue
+			}
+			if err != nil {
+				errs.Add(1)
+				continue
+			}
+			ops.Add(int64(*count))
+			local = append(local, lat)
+		}
+		latMu.Lock()
+		lats = append(lats, local...)
+		latMu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	clients := make([]*client.Client, *conns)
+	for i := range clients {
+		cl, err := client.Dial(*addr)
+		if err != nil {
+			log.Fatalf("soiload: connection %d: %v", i, err)
+		}
+		cl.SetAlg(alg)
+		clients[i] = cl
+		for p := 0; p < *pipeline; p++ {
+			wg.Add(1)
+			go func() { defer wg.Done(); worker(cl) }()
+		}
+	}
+
+	time.Sleep(*warmup)
+	before, err := statsCl.Stats(context.Background())
+	if err != nil {
+		log.Fatalf("soiload: stats: %v", err)
+	}
+	start := time.Now()
+	recording.Store(true)
+	time.Sleep(*duration)
+	recording.Store(false)
+	elapsed := time.Since(start)
+	after, err := statsCl.Stats(context.Background())
+	if err != nil {
+		log.Fatalf("soiload: stats: %v", err)
+	}
+	stop.Store(true)
+	wg.Wait()
+	for _, cl := range clients {
+		cl.Close()
+	}
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Microsecond)
+	}
+	var mean float64
+	for _, l := range lats {
+		mean += float64(l)
+	}
+	if len(lats) > 0 {
+		mean /= float64(len(lats)) * float64(time.Microsecond)
+	}
+
+	dBatches := after["soifftd_batches_total"] - before["soifftd_batches_total"]
+	dTransforms := after["soifftd_batched_transforms_total"] - before["soifftd_batched_transforms_total"]
+	meanBatch := 0.0
+	if dBatches > 0 {
+		meanBatch = dTransforms / dBatches
+	}
+	phases := make(map[string]float64)
+	for _, k := range client.StatsNames(after) {
+		const pre = "soifftd_phase_"
+		if len(k) > len(pre) && k[:len(pre)] == pre {
+			phases[k[len(pre):]] = after[k] - before[k]
+		}
+	}
+
+	res := result{
+		N: *n, Count: *count, Alg: *algName, Conns: *conns, Pipeline: *pipeline,
+		DurationS:       elapsed.Seconds(),
+		Ops:             ops.Load(),
+		Errors:          errs.Load(),
+		OpsPerSec:       float64(ops.Load()) / elapsed.Seconds(),
+		P50Us:           pct(0.50),
+		P99Us:           pct(0.99),
+		MeanUs:          mean,
+		ServerMeanBatch: meanBatch,
+		ServerMaxBatch:  after["soifftd_max_batch_size"],
+		ServerShed:      after["soifftd_shed_overload_total"] - before["soifftd_shed_overload_total"],
+		PhaseSeconds:    phases,
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Printf("soiload: n=%d count=%d alg=%s conns=%d pipeline=%d window=%.2fs\n",
+		res.N, res.Count, res.Alg, res.Conns, res.Pipeline, res.DurationS)
+	fmt.Printf("  throughput  %.0f transforms/s  (%d ops, %d errors)\n", res.OpsPerSec, res.Ops, res.Errors)
+	fmt.Printf("  latency     p50 %.1fµs  p99 %.1fµs  mean %.1fµs\n", res.P50Us, res.P99Us, res.MeanUs)
+	fmt.Printf("  server      mean batch %.2f  max batch %.0f  shed %.0f\n",
+		res.ServerMeanBatch, res.ServerMaxBatch, res.ServerShed)
+	for _, name := range []string{"queue_wait_seconds", "plan_seconds", "execute_seconds", "serialize_seconds"} {
+		fmt.Printf("  phase       %-18s %.3fs\n", name, res.PhaseSeconds[name])
+	}
+}

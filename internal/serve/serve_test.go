@@ -1,0 +1,428 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"soifft"
+	"soifft/client"
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+	"soifft/internal/wire"
+)
+
+// startServer runs a Server on a loopback listener and tears it down with
+// the test.
+func startServer(t *testing.T, cfg Config) (*Server, string) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(cfg)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	t.Cleanup(func() {
+		srv.Close()
+		if err := <-done; err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	})
+	return srv, ln.Addr().String()
+}
+
+func dialClient(t *testing.T, addr string) *client.Client {
+	t.Helper()
+	cl, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl
+}
+
+// TestServeExactRoundTrip checks served Forward/Inverse against the O(N^2)
+// reference DFT for a smooth length and a rough (Bluestein) length.
+func TestServeExactRoundTrip(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl := dialClient(t, addr)
+	cl.SetAlg(client.Exact)
+	ctx := context.Background()
+
+	for _, n := range []int{128, 146} { // 146 = 2*73 exercises Bluestein
+		x := ref.RandomVector(n, int64(n))
+		dst := make([]complex128, n)
+		if err := cl.Forward(ctx, dst, x); err != nil {
+			t.Fatalf("Forward n=%d: %v", n, err)
+		}
+		if e := cvec.RelErrL2(dst, ref.DFT(x)); e > 1e-9 {
+			t.Errorf("Forward n=%d: rel err %g > 1e-9", n, e)
+		}
+		inv := make([]complex128, n)
+		if err := cl.Inverse(ctx, inv, dst); err != nil {
+			t.Fatalf("Inverse n=%d: %v", n, err)
+		}
+		if e := cvec.RelErrL2(inv, x); e > 1e-9 {
+			t.Errorf("Inverse(Forward) n=%d: rel err %g > 1e-9", n, e)
+		}
+	}
+}
+
+// TestServeSOI checks the served SOI path against the reference DFT at the
+// plan's own designed error bound.
+func TestServeSOI(t *testing.T) {
+	soiCfg := soifft.Config{Segments: 2, ConvWidth: 48}
+	srv, addr := startServer(t, Config{SOI: soiCfg, Workers: 1})
+	cl := dialClient(t, addr)
+	cl.SetAlg(client.SOI)
+	ctx := context.Background()
+
+	const n = 896
+	local, err := soifft.NewPlan(n, soiCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol := 10 * local.EstimatedError()
+
+	x := ref.RandomVector(n, 7)
+	dst := make([]complex128, n)
+	if err := cl.Forward(ctx, dst, x); err != nil {
+		t.Fatalf("SOI Forward: %v", err)
+	}
+	if e := cvec.RelErrL2(dst, ref.DFT(x)); e > tol {
+		t.Errorf("SOI Forward: rel err %g > tol %g", e, tol)
+	}
+	inv := make([]complex128, n)
+	if err := cl.Inverse(ctx, inv, dst); err != nil {
+		t.Fatalf("SOI Inverse: %v", err)
+	}
+	if e := cvec.RelErrL2(inv, x); e > tol {
+		t.Errorf("SOI Inverse(Forward): rel err %g > tol %g", e, tol)
+	}
+
+	// SOI-invalid length -> typed bad-request error, connection stays usable.
+	if err := cl.Forward(ctx, make([]complex128, 100), make([]complex128, 100)); !errors.Is(err, wire.ErrBadRequest) {
+		t.Errorf("SOI n=100: got %v, want ErrBadRequest", err)
+	}
+	if err := cl.Forward(ctx, dst, x); err != nil {
+		t.Errorf("connection unusable after bad request: %v", err)
+	}
+	if st := srv.Snapshot(); st.PlanCache.Designs != 1 {
+		t.Errorf("plan designs %d, want 1 (both directions share one plan)", st.PlanCache.Designs)
+	}
+}
+
+// TestServeBatchFrame sends count transforms in one TBatch frame and checks
+// each against the reference.
+func TestServeBatchFrame(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	cl := dialClient(t, addr)
+	cl.SetAlg(client.Exact)
+
+	const n, count = 64, 4
+	src := make([]complex128, n*count)
+	for i := 0; i < count; i++ {
+		copy(src[i*n:], ref.RandomVector(n, int64(i+1)))
+	}
+	dst := make([]complex128, n*count)
+	if err := cl.Batch(context.Background(), dst, src, count, false); err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	for i := 0; i < count; i++ {
+		want := ref.DFT(src[i*n : (i+1)*n])
+		if e := cvec.RelErrL2(dst[i*n:(i+1)*n], want); e > 1e-9 {
+			t.Errorf("batch transform %d: rel err %g", i, e)
+		}
+	}
+}
+
+// rawRequest writes one transform frame directly (bypassing the client
+// library, which derives deadlines from contexts) and returns the response
+// header for reqID.
+func rawRequest(t *testing.T, conn net.Conn, h wire.Header, payload []complex128) {
+	t.Helper()
+	if err := wire.WriteHeader(conn, &h); err != nil {
+		t.Fatal(err)
+	}
+	if payload != nil {
+		if err := wire.WriteVector(conn, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func readResponse(t *testing.T, conn net.Conn) (wire.Header, string) {
+	t.Helper()
+	h, err := wire.ReadHeader(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch h.Type {
+	case wire.TError:
+		msg, err := wire.ReadText(conn, h.PayloadLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h, msg
+	default:
+		if err := wire.DiscardPayload(conn, h.PayloadLen); err != nil {
+			t.Fatal(err)
+		}
+		return h, ""
+	}
+}
+
+// TestServeDeadlineExceeded: a request whose wire deadline has already
+// passed is shed at execution time with a typed error frame.
+func TestServeDeadlineExceeded(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	const n = 64
+	x := ref.RandomVector(n, 1)
+	rawRequest(t, conn, wire.Header{
+		Type:       wire.TForward,
+		Alg:        wire.AlgExact,
+		Count:      1,
+		ReqID:      9,
+		N:          n,
+		Deadline:   time.Now().Add(-time.Second).UnixNano(),
+		PayloadLen: n * wire.BytesPerElem,
+	}, x)
+	h, msg := readResponse(t, conn)
+	if h.Type != wire.TError || h.Code != wire.CodeDeadlineExceeded {
+		t.Fatalf("got type=%v code=%d msg=%q, want deadline-exceeded error frame", h.Type, h.Code, msg)
+	}
+	if h.ReqID != 9 {
+		t.Errorf("response reqID %d, want 9", h.ReqID)
+	}
+	if !errors.Is(wire.ErrFor(h.Code, msg), wire.ErrDeadlineExceeded) {
+		t.Errorf("code %d does not map to ErrDeadlineExceeded", h.Code)
+	}
+}
+
+// TestServeOverload: admission control sheds transforms beyond MaxInFlight
+// with typed overload error frames while admitted requests still complete.
+func TestServeOverload(t *testing.T) {
+	srv, addr := startServer(t, Config{MaxInFlight: 2, MaxBatch: 1, Workers: 1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Request 1 occupies the single worker for many milliseconds; request 2
+	// fills the remaining admission slot; 3..5 must shed. Admission counts
+	// submitted transforms, so this holds regardless of execution timing as
+	// long as request 1 has not finished — its length guarantees that.
+	big := 1 << 20
+	rawRequest(t, conn, wire.Header{
+		Type: wire.TForward, Alg: wire.AlgExact, Count: 1, ReqID: 1,
+		N: uint64(big), PayloadLen: uint64(big) * wire.BytesPerElem,
+	}, make([]complex128, big))
+	const n = 64
+	x := ref.RandomVector(n, 2)
+	for id := uint64(2); id <= 5; id++ {
+		rawRequest(t, conn, wire.Header{
+			Type: wire.TForward, Alg: wire.AlgExact, Count: 1, ReqID: id,
+			N: n, PayloadLen: n * wire.BytesPerElem,
+		}, x)
+	}
+
+	results := make(map[uint64]wire.Header, 5)
+	for i := 0; i < 5; i++ {
+		h, _ := readResponse(t, conn)
+		results[h.ReqID] = h
+	}
+	if h := results[1]; h.Type != wire.TResult {
+		t.Errorf("big request: type %v code %d, want result", h.Type, h.Code)
+	}
+	okN, shedN := 0, 0
+	for id := uint64(2); id <= 5; id++ {
+		switch h := results[id]; {
+		case h.Type == wire.TResult:
+			okN++
+		case h.Type == wire.TError && h.Code == wire.CodeOverloaded:
+			shedN++
+		default:
+			t.Errorf("req %d: unexpected type %v code %d", id, h.Type, h.Code)
+		}
+	}
+	if okN != 1 || shedN != 3 {
+		t.Errorf("admitted %d / shed %d small requests, want 1 / 3", okN, shedN)
+	}
+	if st := srv.Snapshot(); st.ShedOverload != 3 {
+		t.Errorf("shed_overload stat %d, want 3", st.ShedOverload)
+	}
+}
+
+// TestServeGracefulDrain: Shutdown completes in-flight requests (response
+// delivered and correct) while refusing new connections.
+func TestServeGracefulDrain(t *testing.T) {
+	srv, addr := startServer(t, Config{Workers: 1})
+	cl := dialClient(t, addr)
+	cl.SetAlg(client.Exact)
+
+	const n = 1 << 20
+	x := ref.RandomVector(n, 3)
+	dst := make([]complex128, n)
+	reqErr := make(chan error, 1)
+	go func() { reqErr <- cl.Forward(context.Background(), dst, x) }()
+
+	// Let the request reach the scheduler before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sched.InFlight() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-reqErr; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	// Spot-check the drained response actually carries the transform.
+	if dst[0] == 0 && dst[1] == 0 {
+		t.Error("drained response payload looks empty")
+	}
+	if _, err := client.Dial(addr); err == nil {
+		t.Error("Dial succeeded after Shutdown; listener should be closed")
+	}
+	if st := srv.Snapshot(); st.Completed != 1 {
+		t.Errorf("completed %d, want 1", st.Completed)
+	}
+}
+
+// TestServeBatchingCoalesces: pipelined same-length requests coalesce into
+// multi-transform kernel batches (the tentpole behavior).
+func TestServeBatchingCoalesces(t *testing.T) {
+	srv, addr := startServer(t, Config{Workers: 1, MaxBatch: 32})
+	cl := dialClient(t, addr)
+	cl.SetAlg(client.Exact)
+
+	const n = 2048
+	const goroutines = 12
+	const rounds = 6
+	x := ref.RandomVector(n, 4)
+	want := ref.DFT(x)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			dst := make([]complex128, n)
+			for r := 0; r < rounds; r++ {
+				if err := cl.Forward(context.Background(), dst, x); err != nil {
+					t.Errorf("Forward: %v", err)
+					return
+				}
+				if e := cvec.RelErrL2(dst, want); e > 1e-9 {
+					t.Errorf("batched transform rel err %g", e)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := srv.Snapshot()
+	if st.Completed != goroutines*rounds {
+		t.Errorf("completed %d, want %d", st.Completed, goroutines*rounds)
+	}
+	if st.MeanBatch() <= 1.2 {
+		t.Errorf("mean executed batch %.2f; pipelined load should coalesce (>1.2)", st.MeanBatch())
+	}
+	if st.MaxBatch < 2 {
+		t.Errorf("max batch %d, want >= 2", st.MaxBatch)
+	}
+	for _, ph := range []string{"Queue wait", "Execute", "Serialize"} {
+		if st.PhaseSeconds[ph] <= 0 {
+			t.Errorf("phase %q not accounted", ph)
+		}
+	}
+}
+
+// TestServeStats: the TStats frame round-trips the metrics text and the
+// client parses it.
+func TestServeStats(t *testing.T) {
+	srv, addr := startServer(t, Config{})
+	cl := dialClient(t, addr)
+	cl.SetAlg(client.Exact)
+
+	const n = 64
+	x := ref.RandomVector(n, 5)
+	dst := make([]complex128, n)
+	if err := cl.Forward(context.Background(), dst, x); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"soifftd_completed_total", "soifftd_mean_batch_size",
+		"soifftd_plan_cache_entries", "soifftd_phase_execute_seconds",
+	} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("metric %q missing (have %v)", key, client.StatsNames(m))
+		}
+	}
+	if m["soifftd_completed_total"] != 1 {
+		t.Errorf("completed_total %v, want 1", m["soifftd_completed_total"])
+	}
+	if !strings.Contains(srv.MetricsText(), "soifftd_connections_total 1") {
+		t.Errorf("MetricsText missing connection count:\n%s", srv.MetricsText())
+	}
+}
+
+// TestServeBadGeometry: a frame with broken geometry earns a typed error
+// frame and the stream stays usable for the next request.
+func TestServeBadGeometry(t *testing.T) {
+	_, addr := startServer(t, Config{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// n=0 with an empty payload: rejected without desyncing the stream.
+	rawRequest(t, conn, wire.Header{Type: wire.TForward, ReqID: 1}, nil)
+	h, _ := readResponse(t, conn)
+	if h.Type != wire.TError || h.Code != wire.CodeBadRequest || h.ReqID != 1 {
+		t.Fatalf("got type=%v code=%d id=%d, want bad-request for req 1", h.Type, h.Code, h.ReqID)
+	}
+
+	const n = 64
+	x := ref.RandomVector(n, 6)
+	rawRequest(t, conn, wire.Header{
+		Type: wire.TForward, Alg: wire.AlgExact, Count: 1, ReqID: 2,
+		N: n, PayloadLen: n * wire.BytesPerElem,
+	}, x)
+	if h, _ := readResponse(t, conn); h.Type != wire.TResult || h.ReqID != 2 {
+		t.Fatalf("stream desynced after rejected frame: type=%v id=%d", h.Type, h.ReqID)
+	}
+
+	// Response-typed frames from a client are a protocol violation: the
+	// server answers with an error frame and hangs up.
+	rawRequest(t, conn, wire.Header{Type: wire.TResult, ReqID: 3}, nil)
+	if h, _ := readResponse(t, conn); h.Type != wire.TError || h.ReqID != 3 {
+		t.Fatalf("got type=%v id=%d, want error frame for req 3", h.Type, h.ReqID)
+	}
+	if _, err := wire.ReadHeader(conn); err == nil {
+		t.Error("connection still open after protocol violation")
+	}
+}

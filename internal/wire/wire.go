@@ -1,0 +1,365 @@
+// Package wire defines the soifftd client/server protocol: length-prefixed,
+// versioned binary frames over a byte stream (TCP in production, any
+// io.ReadWriter in tests).
+//
+// # Frame layout
+//
+// Every frame is a fixed 48-byte little-endian header followed by
+// PayloadLen payload bytes:
+//
+//	offset size field
+//	0      2    magic (0x501F)
+//	2      1    version (1)
+//	3      1    type (TForward, TInverse, TBatch, TStats, TResult, TError, TStatsResult)
+//	4      1    alg (AlgAuto, AlgExact, AlgSOI)
+//	5      1    reserved (0)
+//	6      2    flags (bit 0: inverse direction, TBatch only)
+//	8      4    code (error code, TError only)
+//	12     4    count (transforms in frame; 1 for TForward/TInverse)
+//	16     8    reqID (echoed verbatim in the response frame)
+//	24     8    n (per-transform element count)
+//	32     8    deadline (unix nanoseconds; 0 = none)
+//	40     8    payloadLen (bytes after the header)
+//
+// Transform payloads are count*n complex128 values, each encoded as two
+// little-endian IEEE-754 float64s (real then imaginary) — 16*count*n bytes,
+// streamed in bounded chunks so neither side ever materializes a second
+// contiguous copy of a large request (a 2^24-point transform is 256 MiB of
+// payload; the codec's scratch stays at 64 KiB). TError payloads are a
+// UTF-8 message; TStatsResult payloads are UTF-8 "name value" lines.
+//
+// Requests are identified by reqID, so a connection may pipeline: many
+// requests in flight, responses in completion order. That out-of-order
+// freedom is what lets the server coalesce same-size requests into one
+// batched kernel call and flush their responses in one write.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Magic identifies a soifftd frame; Version is the protocol revision.
+const (
+	Magic   uint16 = 0x501F
+	Version byte   = 1
+)
+
+// HeaderLen is the fixed frame-header size in bytes.
+const HeaderLen = 48
+
+// BytesPerElem is the payload encoding width of one complex128.
+const BytesPerElem = 16
+
+// Type enumerates frame types.
+type Type byte
+
+const (
+	TForward     Type = 1 // request: one forward transform of n points
+	TInverse     Type = 2 // request: one inverse transform of n points
+	TBatch       Type = 3 // request: count same-length transforms, one direction
+	TStats       Type = 4 // request: server statistics snapshot
+	TResult      Type = 5 // response: count*n transformed values
+	TError       Type = 6 // response: structured error (code + message)
+	TStatsResult Type = 7 // response: statistics text
+)
+
+func (t Type) String() string {
+	switch t {
+	case TForward:
+		return "Forward"
+	case TInverse:
+		return "Inverse"
+	case TBatch:
+		return "Batch"
+	case TStats:
+		return "Stats"
+	case TResult:
+		return "Result"
+	case TError:
+		return "Error"
+	case TStatsResult:
+		return "StatsResult"
+	}
+	return fmt.Sprintf("Type(%d)", byte(t))
+}
+
+// Alg selects the transform algorithm on the server.
+type Alg byte
+
+const (
+	AlgAuto  Alg = 0 // server picks: SOI for large SOI-valid lengths, exact otherwise
+	AlgExact Alg = 1 // exact mixed-radix/Bluestein FFT
+	AlgSOI   Alg = 2 // approximate SOI factorization (paper accuracy bound)
+)
+
+// FlagInverse marks a TBatch frame as inverse-direction.
+const FlagInverse uint16 = 1
+
+// Error codes carried by TError frames.
+const (
+	CodeOverloaded       uint32 = 1
+	CodeDeadlineExceeded uint32 = 2
+	CodeShuttingDown     uint32 = 3
+	CodeBadRequest       uint32 = 4
+	CodeInternal         uint32 = 5
+)
+
+// Typed protocol errors. Server-side admission and execution return these;
+// the client rebuilds them from TError frames, so errors.Is works
+// end-to-end across the wire.
+var (
+	ErrOverloaded       = errors.New("soifftd: overloaded")
+	ErrDeadlineExceeded = errors.New("soifftd: deadline exceeded")
+	ErrShuttingDown     = errors.New("soifftd: shutting down")
+	ErrBadRequest       = errors.New("soifftd: bad request")
+	ErrInternal         = errors.New("soifftd: internal error")
+)
+
+// CodeFor maps an error to its wire code (CodeInternal if unrecognized).
+func CodeFor(err error) uint32 {
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrDeadlineExceeded):
+		return CodeDeadlineExceeded
+	case errors.Is(err, ErrShuttingDown):
+		return CodeShuttingDown
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	}
+	return CodeInternal
+}
+
+// ErrFor rebuilds a typed error from a wire code and detail message.
+func ErrFor(code uint32, msg string) error {
+	var base error
+	switch code {
+	case CodeOverloaded:
+		base = ErrOverloaded
+	case CodeDeadlineExceeded:
+		base = ErrDeadlineExceeded
+	case CodeShuttingDown:
+		base = ErrShuttingDown
+	case CodeBadRequest:
+		base = ErrBadRequest
+	default:
+		base = ErrInternal
+	}
+	if msg == "" {
+		return base
+	}
+	return fmt.Errorf("%w: %s", base, msg)
+}
+
+// Header is the decoded fixed-size frame header.
+type Header struct {
+	Type       Type
+	Alg        Alg
+	Flags      uint16
+	Code       uint32
+	Count      uint32
+	ReqID      uint64
+	N          uint64
+	Deadline   int64 // unix nanoseconds; 0 = none
+	PayloadLen uint64
+}
+
+// Inverse reports the transform direction encoded in the header: the frame
+// type for single requests, FlagInverse for batches.
+func (h *Header) Inverse() bool {
+	return h.Type == TInverse || h.Flags&FlagInverse != 0
+}
+
+// WriteHeader encodes h to w.
+func WriteHeader(w io.Writer, h *Header) error {
+	var buf [HeaderLen]byte
+	binary.LittleEndian.PutUint16(buf[0:], Magic)
+	buf[2] = Version
+	buf[3] = byte(h.Type)
+	buf[4] = byte(h.Alg)
+	binary.LittleEndian.PutUint16(buf[6:], h.Flags)
+	binary.LittleEndian.PutUint32(buf[8:], h.Code)
+	binary.LittleEndian.PutUint32(buf[12:], h.Count)
+	binary.LittleEndian.PutUint64(buf[16:], h.ReqID)
+	binary.LittleEndian.PutUint64(buf[24:], h.N)
+	binary.LittleEndian.PutUint64(buf[32:], uint64(h.Deadline))
+	binary.LittleEndian.PutUint64(buf[40:], h.PayloadLen)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+// ReadHeader decodes one frame header from r, validating magic, version and
+// type. io.EOF is returned unwrapped when the stream ends cleanly between
+// frames (the normal connection-close signal).
+func ReadHeader(r io.Reader) (Header, error) {
+	var buf [HeaderLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		if err == io.EOF {
+			return Header{}, io.EOF
+		}
+		return Header{}, fmt.Errorf("wire: reading frame header: %w", err)
+	}
+	if m := binary.LittleEndian.Uint16(buf[0:]); m != Magic {
+		return Header{}, fmt.Errorf("wire: bad magic %#04x", m)
+	}
+	if v := buf[2]; v != Version {
+		return Header{}, fmt.Errorf("wire: unsupported protocol version %d (have %d)", v, Version)
+	}
+	h := Header{
+		Type:       Type(buf[3]),
+		Alg:        Alg(buf[4]),
+		Flags:      binary.LittleEndian.Uint16(buf[6:]),
+		Code:       binary.LittleEndian.Uint32(buf[8:]),
+		Count:      binary.LittleEndian.Uint32(buf[12:]),
+		ReqID:      binary.LittleEndian.Uint64(buf[16:]),
+		N:          binary.LittleEndian.Uint64(buf[24:]),
+		Deadline:   int64(binary.LittleEndian.Uint64(buf[32:])),
+		PayloadLen: binary.LittleEndian.Uint64(buf[40:]),
+	}
+	if h.Type < TForward || h.Type > TStatsResult {
+		return Header{}, fmt.Errorf("wire: unknown frame type %d", buf[3])
+	}
+	return h, nil
+}
+
+// CheckTransformPayload validates that a transform frame's payload length
+// matches its declared geometry (count transforms of n points).
+func CheckTransformPayload(h *Header) error {
+	if h.N == 0 || h.Count == 0 {
+		return fmt.Errorf("%w: empty transform geometry n=%d count=%d", ErrBadRequest, h.N, h.Count)
+	}
+	want := h.N * uint64(h.Count) * BytesPerElem
+	if h.PayloadLen != want {
+		return fmt.Errorf("%w: payload %d bytes, geometry needs %d", ErrBadRequest, h.PayloadLen, want)
+	}
+	return nil
+}
+
+// chunkElems bounds the codec scratch: 4096 complex128s = 64 KiB.
+const chunkElems = 4096
+
+var chunkPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, chunkElems*BytesPerElem)
+		return &b
+	},
+}
+
+// WriteVector streams x to w in bounded chunks.
+func WriteVector(w io.Writer, x []complex128) error {
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	buf := *bp
+	for len(x) > 0 {
+		c := len(x)
+		if c > chunkElems {
+			c = chunkElems
+		}
+		for i, v := range x[:c] {
+			binary.LittleEndian.PutUint64(buf[i*16:], math.Float64bits(real(v)))
+			binary.LittleEndian.PutUint64(buf[i*16+8:], math.Float64bits(imag(v)))
+		}
+		if _, err := w.Write(buf[:c*BytesPerElem]); err != nil {
+			return fmt.Errorf("wire: writing payload: %w", err)
+		}
+		x = x[c:]
+	}
+	return nil
+}
+
+// ReadVector streams len(dst) complex128s from r into dst.
+func ReadVector(r io.Reader, dst []complex128) error {
+	bp := chunkPool.Get().(*[]byte)
+	defer chunkPool.Put(bp)
+	buf := *bp
+	for len(dst) > 0 {
+		c := len(dst)
+		if c > chunkElems {
+			c = chunkElems
+		}
+		if _, err := io.ReadFull(r, buf[:c*BytesPerElem]); err != nil {
+			return fmt.Errorf("wire: reading payload: %w", err)
+		}
+		for i := range dst[:c] {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(buf[i*16+8:]))
+			dst[i] = complex(re, im)
+		}
+		dst = dst[c:]
+	}
+	return nil
+}
+
+// DiscardPayload skips a frame's payload (used when the receiver no longer
+// wants the response, e.g. after a context cancellation).
+func DiscardPayload(r io.Reader, n uint64) error {
+	_, err := io.CopyN(io.Discard, r, int64(n))
+	return err
+}
+
+// WriteResult writes a TResult frame carrying x (count transforms of
+// len(x)/count points each).
+func WriteResult(w io.Writer, reqID uint64, count int, x []complex128) error {
+	h := Header{
+		Type:       TResult,
+		Count:      uint32(count),
+		ReqID:      reqID,
+		N:          uint64(len(x) / count),
+		PayloadLen: uint64(len(x)) * BytesPerElem,
+	}
+	if err := WriteHeader(w, &h); err != nil {
+		return err
+	}
+	return WriteVector(w, x)
+}
+
+// WriteError writes a TError frame for err (code via CodeFor, message is
+// err's text).
+func WriteError(w io.Writer, reqID uint64, err error) error {
+	msg := []byte(err.Error())
+	h := Header{
+		Type:       TError,
+		Code:       CodeFor(err),
+		ReqID:      reqID,
+		PayloadLen: uint64(len(msg)),
+	}
+	if werr := WriteHeader(w, &h); werr != nil {
+		return werr
+	}
+	_, werr := w.Write(msg)
+	return werr
+}
+
+// maxErrLen bounds TError / TStatsResult payloads a receiver will buffer.
+const maxTextLen = 1 << 20
+
+// ReadText reads a text payload (TError message, TStatsResult body).
+func ReadText(r io.Reader, n uint64) (string, error) {
+	if n > maxTextLen {
+		return "", fmt.Errorf("wire: text payload %d bytes exceeds limit %d", n, maxTextLen)
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", fmt.Errorf("wire: reading text payload: %w", err)
+	}
+	return string(b), nil
+}
+
+// WriteStatsResult writes a TStatsResult frame carrying the metrics text.
+func WriteStatsResult(w io.Writer, reqID uint64, text string) error {
+	h := Header{
+		Type:       TStatsResult,
+		ReqID:      reqID,
+		PayloadLen: uint64(len(text)),
+	}
+	if err := WriteHeader(w, &h); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, text)
+	return err
+}

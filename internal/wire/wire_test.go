@@ -1,0 +1,243 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"soifft/internal/ref"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	deadline := time.Now().Add(time.Second).UnixNano()
+	for _, h := range []Header{
+		{Type: TForward, Alg: AlgAuto, Count: 1, ReqID: 7, N: 1024, Deadline: deadline, PayloadLen: 1024 * BytesPerElem},
+		{Type: TInverse, Alg: AlgSOI, Count: 1, ReqID: 1<<64 - 1, N: 448, PayloadLen: 448 * BytesPerElem},
+		{Type: TBatch, Alg: AlgExact, Flags: FlagInverse, Count: 16, ReqID: 0, N: 64, PayloadLen: 16 * 64 * BytesPerElem},
+		{Type: TStats, ReqID: 3},
+		{Type: TResult, Count: 2, ReqID: 9, N: 8, PayloadLen: 2 * 8 * BytesPerElem},
+		{Type: TError, Code: CodeOverloaded, ReqID: 5, PayloadLen: 10},
+		{Type: TStatsResult, ReqID: 6, PayloadLen: 20},
+	} {
+		var buf bytes.Buffer
+		if err := WriteHeader(&buf, &h); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != HeaderLen {
+			t.Fatalf("header %v encodes to %d bytes, want %d", h.Type, buf.Len(), HeaderLen)
+		}
+		got, err := ReadHeader(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", h.Type, err)
+		}
+		if got != h {
+			t.Errorf("round trip of %+v gave %+v", h, got)
+		}
+	}
+}
+
+func TestHeaderInverse(t *testing.T) {
+	if !(&Header{Type: TInverse}).Inverse() {
+		t.Error("TInverse not inverse")
+	}
+	if (&Header{Type: TForward}).Inverse() {
+		t.Error("TForward inverse")
+	}
+	if !(&Header{Type: TBatch, Flags: FlagInverse}).Inverse() {
+		t.Error("flagged TBatch not inverse")
+	}
+	if (&Header{Type: TBatch}).Inverse() {
+		t.Error("unflagged TBatch inverse")
+	}
+}
+
+func TestReadHeaderRejects(t *testing.T) {
+	good := func() []byte {
+		var buf bytes.Buffer
+		h := Header{Type: TForward, Count: 1, N: 8, PayloadLen: 8 * BytesPerElem}
+		if err := WriteHeader(&buf, &h); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	b := good()
+	b[0] ^= 0xFF // corrupt magic
+	if _, err := ReadHeader(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "magic") {
+		t.Errorf("bad magic: %v", err)
+	}
+
+	b = good()
+	b[2] = 99 // future version
+	if _, err := ReadHeader(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("bad version: %v", err)
+	}
+
+	b = good()
+	b[3] = 200 // unknown type
+	if _, err := ReadHeader(bytes.NewReader(b)); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Errorf("bad type: %v", err)
+	}
+
+	// Clean EOF between frames is io.EOF, not an error wrapper.
+	if _, err := ReadHeader(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+	// A truncated header is a protocol error, not clean EOF.
+	if _, err := ReadHeader(bytes.NewReader(good()[:10])); err == io.EOF || err == nil {
+		t.Errorf("truncated header: %v", err)
+	}
+}
+
+func TestCheckTransformPayload(t *testing.T) {
+	ok := Header{Type: TBatch, Count: 3, N: 64, PayloadLen: 3 * 64 * BytesPerElem}
+	if err := CheckTransformPayload(&ok); err != nil {
+		t.Error(err)
+	}
+	for _, h := range []Header{
+		{Type: TForward, Count: 1, N: 0, PayloadLen: 0},
+		{Type: TForward, Count: 0, N: 64, PayloadLen: 64 * BytesPerElem},
+		{Type: TForward, Count: 1, N: 64, PayloadLen: 64*BytesPerElem - 1},
+		{Type: TBatch, Count: 2, N: 64, PayloadLen: 64 * BytesPerElem},
+	} {
+		if err := CheckTransformPayload(&h); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("header %+v: %v, want ErrBadRequest", h, err)
+		}
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	// Cross the chunk boundary to exercise the streaming path.
+	for _, n := range []int{0, 1, 3, chunkElems - 1, chunkElems, chunkElems + 5, 3*chunkElems + 17} {
+		x := ref.RandomVector(n, int64(n))
+		var buf bytes.Buffer
+		if err := WriteVector(&buf, x); err != nil {
+			t.Fatal(err)
+		}
+		if buf.Len() != n*BytesPerElem {
+			t.Fatalf("n=%d: encoded %d bytes", n, buf.Len())
+		}
+		got := make([]complex128, n)
+		if err := ReadVector(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i] != got[i] {
+				t.Fatalf("n=%d: element %d: %v != %v", n, i, got[i], x[i])
+			}
+		}
+	}
+}
+
+func TestReadVectorTruncated(t *testing.T) {
+	x := ref.RandomVector(100, 1)
+	var buf bytes.Buffer
+	if err := WriteVector(&buf, x); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, 101)
+	if err := ReadVector(bytes.NewReader(buf.Bytes()), got); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestErrorFrameRoundTrip(t *testing.T) {
+	for _, base := range []error{ErrOverloaded, ErrDeadlineExceeded, ErrShuttingDown, ErrBadRequest, ErrInternal} {
+		var buf bytes.Buffer
+		if err := WriteError(&buf, 42, base); err != nil {
+			t.Fatal(err)
+		}
+		h, err := ReadHeader(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.Type != TError || h.ReqID != 42 {
+			t.Fatalf("header %+v", h)
+		}
+		msg, err := ReadText(&buf, h.PayloadLen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rebuilt := ErrFor(h.Code, msg)
+		if !errors.Is(rebuilt, base) {
+			t.Errorf("code %d message %q rebuilt to %v, want errors.Is %v", h.Code, msg, rebuilt, base)
+		}
+	}
+}
+
+func TestErrForDetail(t *testing.T) {
+	err := ErrFor(CodeOverloaded, "queue depth 256")
+	if !errors.Is(err, ErrOverloaded) || !strings.Contains(err.Error(), "queue depth 256") {
+		t.Errorf("got %v", err)
+	}
+	if got := ErrFor(CodeOverloaded, ""); got != ErrOverloaded {
+		t.Errorf("empty message should return the sentinel, got %v", got)
+	}
+	if !errors.Is(ErrFor(999, "x"), ErrInternal) {
+		t.Error("unknown code should map to ErrInternal")
+	}
+}
+
+func TestCodeForUnknown(t *testing.T) {
+	if CodeFor(errors.New("whatever")) != CodeInternal {
+		t.Error("unrecognized errors must map to CodeInternal")
+	}
+	if CodeFor(ErrOverloaded) != CodeOverloaded {
+		t.Error("ErrOverloaded code")
+	}
+}
+
+func TestStatsResultRoundTrip(t *testing.T) {
+	text := "soifftd_requests_total 12\nsoifftd_mean_batch_size 3.5\n"
+	var buf bytes.Buffer
+	if err := WriteStatsResult(&buf, 17, text); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TStatsResult || h.ReqID != 17 {
+		t.Fatalf("header %+v", h)
+	}
+	got, err := ReadText(&buf, h.PayloadLen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != text {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestReadTextLimit(t *testing.T) {
+	if _, err := ReadText(bytes.NewReader(nil), maxTextLen+1); err == nil {
+		t.Error("oversized text accepted")
+	}
+}
+
+func TestWriteResultGeometry(t *testing.T) {
+	x := ref.RandomVector(32, 2)
+	var buf bytes.Buffer
+	if err := WriteResult(&buf, 8, 4, x); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TResult || h.N != 8 || h.Count != 4 || h.PayloadLen != 32*BytesPerElem {
+		t.Fatalf("header %+v", h)
+	}
+	got := make([]complex128, 32)
+	if err := ReadVector(&buf, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if got[i] != x[i] {
+			t.Fatal("payload mismatch")
+		}
+	}
+}

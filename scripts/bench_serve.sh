@@ -1,0 +1,79 @@
+#!/bin/sh
+# Serving-layer A/B benchmark: soifftd + soiload on loopback, one hot size.
+#
+# Four cells, varying the two batching knobs independently:
+#
+#   batching_on    server -max-batch 32, clients send 16-transform frames
+#   coalesce_only  server -max-batch 32, clients send single-transform frames
+#   frame_only     server -max-batch 1,  clients send 16-transform frames
+#   batching_off   server -max-batch 1,  clients send single-transform frames
+#
+# batching_off is the batch-size-1 configuration (every kernel call executes
+# exactly one transform); batching_on is the demo configuration. The script
+# writes BENCH_serve.json at the repo root with all four soiload reports and
+# the on/off speedup.
+#
+#   ./scripts/bench_serve.sh            # ~1 min with the default windows
+#   DURATION=10s ./scripts/bench_serve.sh
+cd "$(dirname "$0")/.." || exit 2
+
+N="${N:-64}"
+CONNS="${CONNS:-8}"
+PIPELINE="${PIPELINE:-4}"
+DURATION="${DURATION:-5s}"
+WARMUP="${WARMUP:-2s}"
+ADDR="${ADDR:-127.0.0.1:7311}"
+OUT="${OUT:-BENCH_serve.json}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null' EXIT
+
+echo "== building soifftd + soiload"
+go build -o "$tmp/soifftd" ./cmd/soifftd || exit 1
+go build -o "$tmp/soiload" ./cmd/soiload || exit 1
+
+# run_cell <name> <max-batch> <count>
+run_cell() {
+    name="$1"; max_batch="$2"; count="$3"
+    echo "== $name (server -max-batch $max_batch, soiload -count $count)"
+    "$tmp/soifftd" -listen "$ADDR" -max-batch "$max_batch" -max-inflight 1024 \
+        >"$tmp/$name.log" 2>&1 &
+    srv_pid=$!
+    "$tmp/soiload" -addr "$ADDR" -n "$N" -count "$count" -c "$CONNS" \
+        -pipeline "$PIPELINE" -duration "$DURATION" -warmup "$WARMUP" -json \
+        >"$tmp/$name.json" || { cat "$tmp/$name.log"; exit 1; }
+    kill -TERM "$srv_pid" && wait "$srv_pid" 2>/dev/null
+    srv_pid=""
+    jq -r '"   \(.ops_per_s | floor) transforms/s, server mean batch \(.server_mean_batch), p99 \(.p99_us)us"' \
+        "$tmp/$name.json"
+}
+
+run_cell batching_on   32 16
+run_cell coalesce_only 32 1
+run_cell frame_only    1  16
+run_cell batching_off  1  1
+
+jq -n \
+    --slurpfile on "$tmp/batching_on.json" \
+    --slurpfile co "$tmp/coalesce_only.json" \
+    --slurpfile fr "$tmp/frame_only.json" \
+    --slurpfile off "$tmp/batching_off.json" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg goos "$(go env GOOS)" --arg goarch "$(go env GOARCH)" \
+    --arg nproc "$(nproc)" \
+    '{
+        bench: "serve",
+        date: $date,
+        host: {goos: $goos, goarch: $goarch, cpus: ($nproc | tonumber)},
+        batching_on: $on[0],
+        coalesce_only: $co[0],
+        frame_only: $fr[0],
+        batching_off: $off[0],
+        speedup_on_vs_off: ($on[0].ops_per_s / $off[0].ops_per_s),
+        speedup_coalesce_only: ($co[0].ops_per_s / $off[0].ops_per_s)
+    }' >"$OUT" || exit 1
+
+echo "== wrote $OUT"
+jq '{speedup_on_vs_off, speedup_coalesce_only,
+     mean_batch_on: .batching_on.server_mean_batch,
+     mean_batch_off: .batching_off.server_mean_batch}' "$OUT"

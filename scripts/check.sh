@@ -37,7 +37,7 @@ run_gate "go vet ./..." go vet ./...
 run_gate "soilint ./..." go run ./cmd/soilint ./...
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
 run_gate "bcebudget (bounds-check gate)" go run ./cmd/bcebudget
-run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist
+run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist ./internal/serve ./internal/wire ./client
 
 if [ -n "$failures" ]; then
     echo "check.sh: FAILED gates:$failures"

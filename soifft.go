@@ -81,8 +81,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// params converts the public config to the internal parameter set.
-func (c Config) params(n int) (window.Params, soi.Options, error) {
+// Canonical returns cfg with every structural default made explicit
+// (Segments, OversampleNum/Den, ConvWidth). Two configs that canonicalize
+// equal produce interchangeable plans for a given length, which makes the
+// canonical form the natural plan-cache key (internal/serve keys its LRU on
+// it) and the stable identity for wisdom files.
+func (c Config) Canonical() Config {
 	if c.Segments == 0 {
 		c.Segments = 8
 	}
@@ -92,6 +96,12 @@ func (c Config) params(n int) (window.Params, soi.Options, error) {
 	if c.ConvWidth == 0 {
 		c.ConvWidth = 72
 	}
+	return c
+}
+
+// params converts the public config to the internal parameter set.
+func (c Config) params(n int) (window.Params, soi.Options, error) {
+	c = c.Canonical()
 	p := window.Params{
 		N:        n,
 		Segments: c.Segments,

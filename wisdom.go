@@ -31,7 +31,11 @@ func NewPlanFromWisdom(r io.Reader, cfg Config) (*Plan, error) {
 	if cfg.ConvWidth != 0 && cfg.ConvWidth != win.B {
 		return nil, fmt.Errorf("soifft: wisdom has B=%d, config wants %d", win.B, cfg.ConvWidth)
 	}
-	if cfg.OversampleNum != 0 && (cfg.OversampleNum != win.NMu || cfg.OversampleDen != win.DMu) {
+	// The oversampling factor is a pair: a config that pins either half of
+	// mu must match the wisdom on both (a lone OversampleDen used to slip
+	// through and be silently overridden by the wisdom's value).
+	if (cfg.OversampleNum != 0 || cfg.OversampleDen != 0) &&
+		(cfg.OversampleNum != win.NMu || cfg.OversampleDen != win.DMu) {
 		return nil, fmt.Errorf("soifft: wisdom has mu=%d/%d, config wants %d/%d",
 			win.NMu, win.DMu, cfg.OversampleNum, cfg.OversampleDen)
 	}

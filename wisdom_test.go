@@ -45,7 +45,7 @@ func TestWisdomRoundTrip(t *testing.T) {
 
 func TestWisdomConfigMismatch(t *testing.T) {
 	n := validN(4)
-	orig, err := NewPlan(n, DefaultConfig())
+	orig, err := NewPlan(n, DefaultConfig()) // structural: Segments=8, mu=8/7, B=72
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,14 +54,45 @@ func TestWisdomConfigMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	wisdom := buf.Bytes()
-	for _, cfg := range []Config{
-		{Segments: 4},                        // wisdom has 8
-		{ConvWidth: 48},                      // wisdom has 72
-		{OversampleNum: 5, OversampleDen: 4}, // wisdom has 8/7
+	// One case per structural knob (Segments, ConvWidth, the mu pair),
+	// including the half-specified oversampling pairs that used to slip
+	// through when only OversampleDen was set.
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero config ok", Config{}, true},
+		{"matching structural fields ok", Config{Segments: 8, OversampleNum: 8, OversampleDen: 7, ConvWidth: 72}, true},
+		{"execution knobs ignored", Config{Workers: 3}, true},
+		{"segments mismatch", Config{Segments: 4}, false},
+		{"convwidth mismatch", Config{ConvWidth: 48}, false},
+		{"mu pair mismatch", Config{OversampleNum: 5, OversampleDen: 4}, false},
+		{"mu num-only mismatch", Config{OversampleNum: 5}, false},
+		{"mu den-only mismatch", Config{OversampleDen: 4}, false},
+		{"mu den-only matching value still half a pair", Config{OversampleDen: 7}, false},
 	} {
-		if _, err := NewPlanFromWisdom(bytes.NewReader(wisdom), cfg); err == nil {
-			t.Errorf("mismatched config %+v accepted", cfg)
+		_, err := NewPlanFromWisdom(bytes.NewReader(wisdom), tc.cfg)
+		if tc.ok && err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
 		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: config %+v accepted", tc.name, tc.cfg)
+		}
+	}
+}
+
+func TestConfigCanonical(t *testing.T) {
+	def := DefaultConfig()
+	if got := (Config{}).Canonical(); got != def {
+		t.Errorf("zero config canonicalizes to %+v, want %+v", got, def)
+	}
+	full := Config{Segments: 16, OversampleNum: 5, OversampleDen: 4, ConvWidth: 48, Workers: 2}
+	if got := full.Canonical(); got != full {
+		t.Errorf("explicit config changed by Canonical: %+v", got)
+	}
+	if got := def.Canonical(); got != def {
+		t.Errorf("default config not a fixed point: %+v", got)
 	}
 }
 
