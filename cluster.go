@@ -21,6 +21,13 @@ type Cluster struct {
 	ranks int
 	cfg   Config
 
+	// WrapComm, when non-nil, wraps each rank's communicator before the
+	// distributed program runs — the seam for fault injection and transport
+	// instrumentation. Wrapped comms exposing Flush (pending delayed
+	// deliveries) are flushed after each rank finishes cleanly, so the
+	// no-hang contract extends through the public Forward/Inverse API.
+	WrapComm func(mpi.Comm) mpi.Comm
+
 	mu    sync.Mutex
 	plans map[int]*soi.Plan // cached single-address-space plans by length
 }
@@ -91,6 +98,9 @@ func (c *Cluster) Forward(dst, src []complex128) (*RunStats, error) {
 	agg := trace.NewBreakdown()
 	var mu sync.Mutex
 	err = mpi.Run(c.ranks, func(comm mpi.Comm) error {
+		if c.WrapComm != nil {
+			comm = c.WrapComm(comm)
+		}
 		d, err := dist.NewSOIFromPlan(comm, plan)
 		if err != nil {
 			return err
@@ -104,6 +114,9 @@ func (c *Cluster) Forward(dst, src []complex128) (*RunStats, error) {
 		mu.Lock()
 		agg.Merge(bd)
 		mu.Unlock()
+		if f, ok := comm.(interface{ Flush() error }); ok {
+			return f.Flush()
+		}
 		return nil
 	})
 	if err != nil {

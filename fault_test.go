@@ -1,0 +1,85 @@
+package soifft
+
+import (
+	"testing"
+	"time"
+
+	"soifft/internal/cvec"
+	"soifft/internal/faultcomm"
+	"soifft/internal/mpi"
+	"soifft/internal/ref"
+)
+
+// TestClusterForwardUnderLosslessFaults runs the public distributed API
+// over a transport that delays, duplicates, and reorders messages. Those
+// faults must be absorbed by the sequencing layer: the transform result is
+// identical in contract to a clean run.
+func TestClusterForwardUnderLosslessFaults(t *testing.T) {
+	n := validN(8)
+	x := ref.RandomVector(n, 21)
+	want, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := NewCluster(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultcomm.NewSchedule(5, 5*time.Second)
+	sched.Delay = 0.3
+	sched.MaxDelay = time.Millisecond
+	sched.Dup = 0.3
+	sched.Reorder = 0.3
+	inj := faultcomm.New(sched)
+	cl.WrapComm = func(c mpi.Comm) mpi.Comm { return inj.Wrap(c) }
+	got := make([]complex128, n)
+	if _, err := cl.Forward(got, x); err != nil {
+		t.Fatalf("lossless faults failed the transform: %v\ntrace:\n%s", err, inj.Trace())
+	}
+	if e := cvec.RelErrL2(got, want); e > 1e-7 {
+		t.Fatalf("lossless faults changed the answer: rel err %g", e)
+	}
+}
+
+// TestClusterForwardCrashSurfacesTypedError kills one rank partway through
+// and requires Forward to return a typed transport error promptly — the
+// public API inherits the no-hang contract.
+func TestClusterForwardCrashSurfacesTypedError(t *testing.T) {
+	n := validN(8)
+	x := ref.RandomVector(n, 22)
+	cl, err := NewCluster(4, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := faultcomm.NewSchedule(9, 2*time.Second)
+	sched.CrashRank = 1
+	sched.CrashOp = 0
+	inj := faultcomm.New(sched)
+	cl.WrapComm = func(c mpi.Comm) mpi.Comm { return inj.Wrap(c) }
+	start := time.Now()
+	_, err = cl.Forward(make([]complex128, n), x)
+	if err == nil {
+		t.Fatal("crashed rank produced no error from Forward")
+	}
+	if !faultcomm.Typed(err) {
+		t.Fatalf("crash error not typed: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("crash took %v to surface", d)
+	}
+
+	// The cluster object stays usable after a faulty run: clearing the hook
+	// restores clean operation on the cached plan.
+	cl.WrapComm = nil
+	want, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]complex128, n)
+	if _, err := cl.Forward(got, x); err != nil {
+		t.Fatalf("clean run after faulty run failed: %v", err)
+	}
+	if e := cvec.RelErrL2(got, want); e > 1e-7 {
+		t.Fatalf("clean run after faulty run wrong: rel err %g", e)
+	}
+}

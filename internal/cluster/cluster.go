@@ -244,6 +244,16 @@ type VerifyResult struct {
 // it against the serial FFT. segments is the total segment count; world the
 // rank count.
 func VerifyRun(world, segments, chunksPerSeg, b int) (*VerifyResult, error) {
+	return VerifyRunComm(world, segments, chunksPerSeg, b, nil)
+}
+
+// VerifyRunComm is VerifyRun with a per-rank communicator hook: when wrap is
+// non-nil each rank's comm is passed through it before the distributed SOI
+// runs. This is the seam the fault-injection harness uses to drive the full
+// verification pipeline over a faulty transport; wrapped comms that expose
+// Flush (pending delayed deliveries) are flushed after a successful run so
+// injected delays cannot leak past the verification barrier.
+func VerifyRunComm(world, segments, chunksPerSeg, b int, wrap func(mpi.Comm) mpi.Comm) (*VerifyResult, error) {
 	p := window.Params{
 		N:        7 * segments * chunksPerSeg * segments,
 		Segments: segments,
@@ -261,6 +271,9 @@ func VerifyRun(world, segments, chunksPerSeg, b int) (*VerifyResult, error) {
 	bd := trace.NewBreakdown()
 	localN := p.N / world
 	err := mpi.Run(world, func(c mpi.Comm) error {
+		if wrap != nil {
+			c = wrap(c)
+		}
 		d, err := dist.NewSOI(c, p, soi.DefaultOptions())
 		if err != nil {
 			return err
@@ -272,6 +285,9 @@ func VerifyRun(world, segments, chunksPerSeg, b int) (*VerifyResult, error) {
 			return err
 		}
 		bd.Merge(rankBD)
+		if f, ok := c.(interface{ Flush() error }); ok {
+			return f.Flush()
+		}
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"soifft/internal/faultcomm"
+	"soifft/internal/mpi"
+)
+
+// TestVerifyRunCommLosslessFaults drives the full verification pipeline —
+// the real distributed SOI, checked against the serial FFT — over a
+// transport injecting delays, duplicates, and reordering. None of those
+// lose data, so the answer must still be correct to the plan's accuracy.
+func TestVerifyRunCommLosslessFaults(t *testing.T) {
+	sched := faultcomm.NewSchedule(11, 5*time.Second)
+	sched.Delay = 0.3
+	sched.MaxDelay = 2 * time.Millisecond
+	sched.Dup = 0.3
+	sched.Reorder = 0.3
+	inj := faultcomm.New(sched)
+	vr, err := VerifyRunComm(4, 8, 2, 72, func(c mpi.Comm) mpi.Comm { return inj.Wrap(c) })
+	if err != nil {
+		t.Fatalf("lossless faults must not fail the run: %v\ntrace:\n%s", err, inj.Trace())
+	}
+	if vr.RelErr > 1e-6 {
+		t.Fatalf("lossless faults changed the answer: rel err %g", vr.RelErr)
+	}
+}
+
+// TestVerifyRunCommCrashTyped crashes one rank mid-run and requires the
+// verification pipeline to surface a typed transport error on the caller —
+// not a hang, not a silent wrong answer.
+func TestVerifyRunCommCrashTyped(t *testing.T) {
+	sched := faultcomm.NewSchedule(7, 2*time.Second)
+	sched.CrashRank = 2
+	sched.CrashOp = 1
+	inj := faultcomm.New(sched)
+	start := time.Now()
+	_, err := VerifyRunComm(4, 8, 2, 72, func(c mpi.Comm) mpi.Comm { return inj.Wrap(c) })
+	if err == nil {
+		t.Fatal("crashed rank produced no error")
+	}
+	if !faultcomm.Typed(err) {
+		t.Fatalf("crash error not typed: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("crash took %v to surface", d)
+	}
+}

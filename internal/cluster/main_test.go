@@ -1,0 +1,12 @@
+package cluster
+
+import (
+	"testing"
+
+	"soifft/internal/testutil"
+)
+
+// TestMain pins that VerifyRun's in-process worlds — including the SOI
+// pipeline's overlapped-exchange goroutines — are fully reaped, even on
+// error and fault-injected paths.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

@@ -1,0 +1,117 @@
+package dist
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"soifft/internal/cvec"
+	"soifft/internal/faultcomm"
+	"soifft/internal/mpi"
+	"soifft/internal/ref"
+	"soifft/internal/soi"
+)
+
+// crashInjector builds an injector whose schedule kills rank `rank` at its
+// first wrapped operation.
+func crashInjector(seed int64, rank int) *faultcomm.Injector {
+	sched := faultcomm.NewSchedule(seed, 2*time.Second)
+	sched.CrashRank = rank
+	sched.CrashOp = 0
+	return faultcomm.New(sched)
+}
+
+// TestRedistributeCrashTyped runs the block<->cyclic redistribution with one
+// rank crashed at its first operation: every surviving rank must come back
+// with a typed transport error (via crash propagation or deadline), and the
+// whole world must resolve promptly.
+func TestRedistributeCrashTyped(t *testing.T) {
+	const world = 4
+	inj := crashInjector(3, 2)
+	start := time.Now()
+	err := mpi.Run(world, func(c mpi.Comm) error {
+		ep := inj.Wrap(c)
+		local := ref.RandomVector(32, int64(100+ep.Rank()))
+		cyc, err := BlockToCyclic(ep, local)
+		if err != nil {
+			return err
+		}
+		_, err = CyclicToBlock(ep, cyc)
+		return err
+	})
+	if err == nil {
+		t.Fatal("redistribution with a crashed rank reported success")
+	}
+	if !faultcomm.Typed(err) {
+		t.Fatalf("redistribution crash error not typed: %v\ntrace:\n%s", err, inj.Trace())
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("crash took %v to resolve", d)
+	}
+}
+
+// TestRedistributeLosslessFaultsRoundTrip checks that delay/dup/reorder
+// injection is invisible to the redistribution protocol: the block->cyclic
+// ->block round trip still returns the original data.
+func TestRedistributeLosslessFaultsRoundTrip(t *testing.T) {
+	const world = 4
+	sched := faultcomm.NewSchedule(17, 5*time.Second)
+	sched.Delay = 0.4
+	sched.MaxDelay = time.Millisecond
+	sched.Dup = 0.4
+	sched.Reorder = 0.4
+	inj := faultcomm.New(sched)
+	err := mpi.Run(world, func(c mpi.Comm) error {
+		ep := inj.Wrap(c)
+		local := ref.RandomVector(32, int64(200+ep.Rank()))
+		cyc, err := BlockToCyclic(ep, local)
+		if err != nil {
+			return err
+		}
+		back, err := CyclicToBlock(ep, cyc)
+		if err != nil {
+			return err
+		}
+		if e := cvec.RelErrL2(back, local); e != 0 {
+			t.Errorf("rank %d: round trip corrupted data, rel err %g", ep.Rank(), e)
+		}
+		return ep.Flush()
+	})
+	if err != nil {
+		t.Fatalf("lossless faults failed redistribution: %v\ntrace:\n%s", err, inj.Trace())
+	}
+}
+
+// TestSOIForwardCrashTyped crashes one rank inside the distributed SOI
+// pipeline (ghost exchange + pipelined all-to-all) and requires every other
+// rank to unblock with a typed error rather than hang in a collective.
+func TestSOIForwardCrashTyped(t *testing.T) {
+	const world = 4
+	p := testParams(4, 4)
+	x := ref.RandomVector(p.N, 33)
+	localN := p.N / world
+	inj := crashInjector(8, 3)
+	start := time.Now()
+	err := mpi.Run(world, func(c mpi.Comm) error {
+		d, err := NewSOI(inj.Wrap(c), p, soi.DefaultOptions())
+		if err != nil {
+			return err
+		}
+		r := c.Rank()
+		dst := make([]complex128, localN)
+		return d.Forward(dst, x[r*localN:(r+1)*localN])
+	})
+	if err == nil {
+		t.Fatal("distributed SOI with a crashed rank reported success")
+	}
+	if !faultcomm.Typed(err) {
+		t.Fatalf("SOI crash error not typed: %v\ntrace:\n%s", err, inj.Trace())
+	}
+	if !errors.Is(err, faultcomm.ErrCrashed) && !errors.Is(err, mpi.ErrAborted) &&
+		!errors.Is(err, mpi.ErrTimeout) && !errors.Is(err, mpi.ErrClosed) {
+		t.Fatalf("SOI crash error outside the sentinel vocabulary: %v", err)
+	}
+	if d := time.Since(start); d > 10*time.Second {
+		t.Fatalf("crash took %v to resolve", d)
+	}
+}

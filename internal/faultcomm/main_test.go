@@ -1,0 +1,12 @@
+package faultcomm
+
+import (
+	"testing"
+
+	"soifft/internal/testutil"
+)
+
+// TestMain pins the harness's own hygiene: every rank goroutine the runner
+// spawns — including aborted and watchdog-unstuck ones — must be reaped by
+// the time the suite passes.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

@@ -1,0 +1,126 @@
+package faultcomm
+
+import (
+	"fmt"
+	"time"
+
+	"soifft/internal/mpi"
+)
+
+// ErrHang is the watchdog's verdict: a rank was still blocked when the
+// watchdog fired. Its presence in a Report means the no-hang invariant was
+// violated — some operation neither completed nor resolved to a typed
+// error within its deadline.
+var ErrHang = fmt.Errorf("faultcomm: watchdog fired: %w", mpi.ErrTimeout)
+
+// Report is the outcome of one harnessed SPMD run: every rank's return
+// value plus the injected-fault trace, the evidence the sweep tests assert
+// the no-hang invariant over (and dump when it fails).
+type Report struct {
+	// Errs[r] is what rank r's program returned (nil on success). A rank
+	// that never returned before the watchdog fired gets ErrHang.
+	Errs []error
+	// Hang is set when the watchdog fired before every rank returned.
+	Hang bool
+
+	inj *Injector
+}
+
+// Trace renders the run's canonical fault trace (see Injector.Trace).
+func (r *Report) Trace() string { return r.inj.Trace() }
+
+// Schedule returns the schedule the run injected.
+func (r *Report) Schedule() Schedule { return r.inj.Schedule() }
+
+// OK reports whether every rank returned nil.
+func (r *Report) OK() bool {
+	for _, e := range r.Errs {
+		if e != nil {
+			return false
+		}
+	}
+	return !r.Hang
+}
+
+// rankResult pairs a rank with its program's return value.
+type rankResult struct {
+	rank int
+	err  error
+}
+
+// Run executes fn as an SPMD program over a fresh in-process world of the
+// given size, each rank's communicator wrapped in a fault-injecting
+// Endpoint driven by sched. It is mpi.Run plus the harness discipline:
+//
+//   - A rank returning an error aborts the world, so peers blocked in
+//     collectives with it resolve promptly (crash propagation).
+//   - A rank returning cleanly flushes its endpoint, so a reorder-held
+//     final message cannot starve a peer that is still receiving.
+//   - The watchdog bounds the whole run: if any rank is still blocked
+//     after watchdog (the no-hang invariant already lost — every op should
+//     have resolved within sched.OpTimeout), the world is aborted, the
+//     stuck ranks get ErrHang, and Report.Hang is set.
+//
+// The returned Report always has Errs of length size.
+func Run(size int, sched Schedule, watchdog time.Duration, fn func(mpi.Comm) error) (*Report, error) {
+	w, err := mpi.NewWorld(size)
+	if err != nil {
+		return nil, err
+	}
+	defer w.Close()
+	inj := New(sched)
+	rep := &Report{Errs: make([]error, size), inj: inj}
+
+	results := make(chan rankResult, size)
+	for r := 0; r < size; r++ {
+		e := inj.Wrap(w.Comm(r))
+		go func(r int, e *Endpoint) {
+			err := fn(e)
+			if err != nil {
+				w.Abort(fmt.Errorf("rank %d failed: %w", r, err))
+			} else if ferr := e.Flush(); ferr != nil {
+				// Held messages could not drain — only happens when the
+				// world is already going down; surface it as this rank's
+				// (typed) outcome so the invariant check sees it.
+				err = ferr
+			}
+			results <- rankResult{rank: r, err: err}
+		}(r, e)
+	}
+
+	returned := make([]bool, size)
+	timer := time.NewTimer(watchdog)
+	defer timer.Stop()
+	for got := 0; got < size; {
+		select {
+		case res := <-results:
+			rep.Errs[res.rank] = res.err
+			returned[res.rank] = true
+			got++
+		case <-timer.C:
+			rep.Hang = true
+			// Last resort: abort so the stuck ranks unwind instead of
+			// leaking for the life of the process, then give them a grace
+			// period to drain.
+			w.Abort(ErrHang)
+			grace := time.NewTimer(2 * time.Second)
+			defer grace.Stop()
+			for got < size {
+				select {
+				case res := <-results:
+					rep.Errs[res.rank] = res.err
+					returned[res.rank] = true
+					got++
+				case <-grace.C:
+					for r, ok := range returned {
+						if !ok {
+							rep.Errs[r] = ErrHang
+						}
+					}
+					return rep, nil
+				}
+			}
+		}
+	}
+	return rep, nil
+}

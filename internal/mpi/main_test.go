@@ -1,0 +1,13 @@
+package mpi
+
+import (
+	"testing"
+
+	"soifft/internal/testutil"
+)
+
+// TestMain pins that the transports reap their goroutines: every TCP
+// readLoop must exit when its node closes or its peer dies, and every
+// in-process rank goroutine must resolve — the no-hang invariant's
+// resource-side twin.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

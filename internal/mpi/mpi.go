@@ -21,6 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // AnySource matches a message from any rank in Recv.
@@ -59,18 +61,45 @@ func SendRecv(c Comm, dst int, sendData []complex128, src, tag int) ([]complex12
 	return data, err
 }
 
+// DeadlineRecver is the optional per-op deadline extension of Comm. The
+// in-process and TCP transports implement it; middlewares (Proxy, the
+// fault-injection harness) forward it when their inner transport supports
+// it.
+type DeadlineRecver interface {
+	// RecvDeadline behaves like Recv but fails with a *TransportError
+	// wrapping ErrTimeout if no matching message arrives by deadline.
+	// A zero deadline means no limit.
+	RecvDeadline(src, tag int, deadline time.Time) ([]complex128, int, error)
+}
+
+// RecvTimeout receives with a per-op timeout when the transport supports
+// deadlines, falling back to a plain (potentially unbounded) Recv when it
+// does not. timeout <= 0 means no limit.
+func RecvTimeout(c Comm, src, tag int, timeout time.Duration) ([]complex128, int, error) {
+	if dr, ok := c.(DeadlineRecver); ok && timeout > 0 {
+		return dr.RecvDeadline(src, tag, time.Now().Add(timeout))
+	}
+	return c.Recv(src, tag)
+}
+
 // message is an in-flight payload.
 type message struct {
 	src, tag int
 	data     []complex128
 }
 
-// mailbox is an unordered-match message store with blocking receive.
+// mailbox is an unordered-match message store with blocking receive,
+// per-op deadlines and two failure granularities: the whole box (close,
+// abort) or a single source (a lost TCP peer). Messages already delivered
+// before a failure remain consumable — failure is checked only when no
+// match is pending, mirroring a real transport where buffered data
+// survives the connection that carried it.
 type mailbox struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	msgs   []message
-	closed bool
+	mu   sync.Mutex
+	cond *sync.Cond
+	msgs []message
+	err  error         // non-nil: box failed; unmatched ops return it
+	dead map[int]error // per-source failure: unmatched recvs from src return it
 }
 
 func newMailbox() *mailbox {
@@ -82,17 +111,30 @@ func newMailbox() *mailbox {
 func (mb *mailbox) put(m message) error {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
-	if mb.closed {
-		return ErrClosed
+	if mb.err != nil {
+		return mb.err
 	}
 	mb.msgs = append(mb.msgs, m)
 	mb.cond.Broadcast()
 	return nil
 }
 
-func (mb *mailbox) get(src, tag int) ([]complex128, int, error) {
+// get blocks until a message matching (src, tag) arrives, the box or the
+// source fails, or the deadline (zero = none) passes.
+func (mb *mailbox) get(src, tag int, deadline time.Time) ([]complex128, int, error) {
 	mb.mu.Lock()
 	defer mb.mu.Unlock()
+	var timer *time.Timer
+	if !deadline.IsZero() {
+		// The callback takes the lock before broadcasting so the wakeup
+		// cannot slip between a waiter's deadline check and its Wait.
+		timer = time.AfterFunc(time.Until(deadline), func() {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		defer timer.Stop()
+	}
 	for {
 		for i := range mb.msgs {
 			m := mb.msgs[i]
@@ -101,25 +143,56 @@ func (mb *mailbox) get(src, tag int) ([]complex128, int, error) {
 				return m.data, m.src, nil
 			}
 		}
-		if mb.closed {
-			return nil, 0, ErrClosed
+		if mb.err != nil {
+			return nil, 0, mb.err
+		}
+		if src != AnySource {
+			if e := mb.dead[src]; e != nil {
+				return nil, 0, e
+			}
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			return nil, 0, ErrTimeout
 		}
 		mb.cond.Wait()
 	}
 }
 
-func (mb *mailbox) close() {
+// fail poisons the whole box: pending and future unmatched operations
+// return err. The first failure wins.
+func (mb *mailbox) fail(err error) {
 	mb.mu.Lock()
-	mb.closed = true
+	if mb.err == nil {
+		mb.err = err
+	}
 	mb.cond.Broadcast()
 	mb.mu.Unlock()
 }
 
+// markDead records that messages from src will never arrive again:
+// unmatched receives naming src return err instead of blocking. Wildcard
+// (AnySource) receives are unaffected — they may still be satisfied by
+// other sources, and fall to the deadline otherwise.
+func (mb *mailbox) markDead(src int, err error) {
+	mb.mu.Lock()
+	if mb.dead == nil {
+		mb.dead = make(map[int]error)
+	}
+	if mb.dead[src] == nil {
+		mb.dead[src] = err
+	}
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+func (mb *mailbox) close() { mb.fail(ErrClosed) }
+
 // World is an in-process communicator group: size ranks sharing one address
 // space, each typically driven by its own goroutine.
 type World struct {
-	size  int
-	boxes []*mailbox
+	size      int
+	boxes     []*mailbox
+	opTimeout atomic.Int64 // default per-Recv deadline in ns; 0 = none
 }
 
 // NewWorld creates an in-process world with the given number of ranks.
@@ -142,10 +215,27 @@ func (w *World) Comm(r int) Comm {
 	return &inprocComm{world: w, rank: r}
 }
 
+// SetOpTimeout sets the default per-operation deadline applied to every
+// Recv on the world's endpoints (RecvDeadline overrides it per call).
+// Zero restores unbounded blocking. Safe to call concurrently.
+func (w *World) SetOpTimeout(d time.Duration) { w.opTimeout.Store(int64(d)) }
+
 // Close shuts down every rank's mailbox.
 func (w *World) Close() {
 	for _, mb := range w.boxes {
 		mb.close()
+	}
+}
+
+// Abort tears the world down because of cause: every rank's pending and
+// future unmatched operations fail with an error wrapping both ErrAborted
+// and cause. This is the crash-propagation path — one failed rank unblocks
+// every in-flight collective cluster-wide instead of leaving the other
+// ranks deadlocked (or waiting out their deadlines).
+func (w *World) Abort(cause error) {
+	err := fmt.Errorf("%w: %w", ErrAborted, cause)
+	for _, mb := range w.boxes {
+		mb.fail(err)
 	}
 }
 
@@ -170,10 +260,24 @@ func (c *inprocComm) Send(dst, tag int, data []complex128) error {
 }
 
 func (c *inprocComm) Recv(src, tag int) ([]complex128, int, error) {
+	var deadline time.Time
+	if d := c.world.opTimeout.Load(); d > 0 {
+		deadline = time.Now().Add(time.Duration(d))
+	}
+	return c.RecvDeadline(src, tag, deadline)
+}
+
+// RecvDeadline implements DeadlineRecver: a Recv that fails with a
+// *TransportError wrapping ErrTimeout once deadline passes.
+func (c *inprocComm) RecvDeadline(src, tag int, deadline time.Time) ([]complex128, int, error) {
 	if src != AnySource && (src < 0 || src >= c.world.size) {
 		return nil, 0, fmt.Errorf("mpi: recv from invalid rank %d", src)
 	}
-	return c.world.boxes[c.rank].get(src, tag)
+	data, from, err := c.world.boxes[c.rank].get(src, tag, deadline)
+	if errors.Is(err, ErrTimeout) {
+		return nil, 0, &TransportError{Op: "recv", Peer: src, Tag: tag, Err: err}
+	}
+	return data, from, err
 }
 
 func (c *inprocComm) Close() error {
@@ -182,28 +286,41 @@ func (c *inprocComm) Close() error {
 }
 
 // Run drives fn as an SPMD program over a fresh in-process world: one
-// goroutine per rank. It returns the first non-nil error.
+// goroutine per rank. A rank returning a non-nil error aborts the world,
+// so ranks blocked in collectives with the failed rank resolve promptly
+// (with an ErrAborted-wrapped error) instead of deadlocking. Run returns
+// the lowest-ranked root-cause error — an error that is not abort fallout
+// — or, if every error is fallout, the lowest-ranked one.
 func Run(size int, fn func(Comm) error) error {
 	w, err := NewWorld(size)
 	if err != nil {
 		return err
 	}
 	defer w.Close()
-	errs := make(chan error, size)
+	errs := make([]error, size)
 	var wg sync.WaitGroup
 	wg.Add(size)
 	for r := 0; r < size; r++ {
 		go func(r int) {
 			defer wg.Done()
-			errs <- fn(w.Comm(r))
+			if err := fn(w.Comm(r)); err != nil {
+				errs[r] = err
+				w.Abort(fmt.Errorf("rank %d failed: %w", r, err))
+			}
 		}(r)
 	}
 	wg.Wait()
-	close(errs)
-	for e := range errs {
-		if e != nil {
+	var first error
+	for _, e := range errs {
+		if e == nil {
+			continue
+		}
+		if !errors.Is(e, ErrAborted) {
 			return e
 		}
+		if first == nil {
+			first = e
+		}
 	}
-	return nil
+	return first
 }

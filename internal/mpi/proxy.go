@@ -3,6 +3,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Proxy implements the host-proxied communication of Section 5.1 of the
@@ -119,8 +120,25 @@ func (p *Proxy) Send(dst, tag int, data []complex128) error {
 // tag) stream are non-overtaking, so interleaved same-tag messages
 // reassemble correctly in arrival order.
 func (p *Proxy) Recv(src, tag int) ([]complex128, int, error) {
+	return p.recv(src, tag, p.inner.Recv)
+}
+
+// RecvDeadline implements DeadlineRecver when the inner transport does:
+// the header and every chunk must arrive before the one overall deadline.
+// Without inner support it degrades to a plain (unbounded) Recv.
+func (p *Proxy) RecvDeadline(src, tag int, deadline time.Time) ([]complex128, int, error) {
+	dr, ok := p.inner.(DeadlineRecver)
+	if !ok || deadline.IsZero() {
+		return p.Recv(src, tag)
+	}
+	return p.recv(src, tag, func(src, tag int) ([]complex128, int, error) {
+		return dr.RecvDeadline(src, tag, deadline)
+	})
+}
+
+func (p *Proxy) recv(src, tag int, recv func(src, tag int) ([]complex128, int, error)) ([]complex128, int, error) {
 	base := proxyTagBase + tag*proxyTagSpan
-	hdr, from, err := p.inner.Recv(src, base)
+	hdr, from, err := recv(src, base)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -131,7 +149,7 @@ func (p *Proxy) Recv(src, tag int) ([]complex128, int, error) {
 	total := int(imag(hdr[0]))
 	out := make([]complex128, 0, total)
 	for i := 0; i < nchunks; i++ {
-		chunk, _, err := p.inner.Recv(from, base+1+i)
+		chunk, _, err := recv(from, base+1+i)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -9,6 +9,8 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // TCP transport: a full mesh of stream connections, one per rank pair. Rank
@@ -22,18 +24,61 @@ import (
 // all big-endian. This is the "symmetric mode" stand-in: every rank is a
 // peer on the interconnect, as the paper's Xeon Phi ranks are on InfiniBand
 // through the host proxy.
+//
+// Failure discipline: mesh formation retries dials with capped exponential
+// backoff under one overall deadline (so rank startup order does not
+// matter), a lost connection marks that peer dead — unmatched receives
+// naming it fail immediately with a typed error instead of blocking — and
+// an optional per-op timeout bounds every Recv and every Send's write, so
+// no operation outlives its deadline even against a silent peer.
+
+// TCPOptions tunes mesh formation and the per-operation failure bounds.
+// The zero value gets sane defaults (see ConnectTCP).
+type TCPOptions struct {
+	// ConnectTimeout bounds the whole mesh formation (all dials, the
+	// hello handshakes and all accepts). Default 30s; negative disables.
+	ConnectTimeout time.Duration
+	// DialBackoff is the initial pause between dial retries (a peer's
+	// listener may not be up yet). Doubles per attempt. Default 2ms.
+	DialBackoff time.Duration
+	// DialBackoffMax caps the backoff growth. Default 250ms.
+	DialBackoffMax time.Duration
+	// OpTimeout, when positive, is the default deadline applied to every
+	// Recv and to every Send's wire write. RecvDeadline overrides it per
+	// call. Zero means operations may block indefinitely.
+	OpTimeout time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.ConnectTimeout == 0 {
+		o.ConnectTimeout = 30 * time.Second
+	}
+	if o.DialBackoff <= 0 {
+		o.DialBackoff = 2 * time.Millisecond
+	}
+	if o.DialBackoffMax <= 0 {
+		o.DialBackoffMax = 250 * time.Millisecond
+	}
+	return o
+}
 
 // TCPNode is a rank endpoint over real TCP connections.
 type TCPNode struct {
 	rank, size int
+	opts       TCPOptions
 	box        *mailbox
 	conns      []net.Conn // conns[i] connects to rank i (nil for self)
 	writeMu    []sync.Mutex
 	listener   net.Listener
+	closed     atomic.Bool
 	closeOnce  sync.Once
+	closeErr   error
 }
 
-var _ Comm = (*TCPNode)(nil)
+var (
+	_ Comm           = (*TCPNode)(nil)
+	_ DeadlineRecver = (*TCPNode)(nil)
+)
 
 // ListenTCP opens rank's listener on addr (use "127.0.0.1:0" to pick a free
 // port) and returns it; its address must be distributed to the other ranks
@@ -42,49 +87,92 @@ func ListenTCP(addr string) (net.Listener, error) {
 	return net.Listen("tcp", addr)
 }
 
-// ConnectTCP completes the mesh for the given rank: it accepts connections
-// from lower... higher ranks on ln and dials every lower rank at addrs[i].
-// addrs[i] must hold rank i's listener address for i < rank. The returned
-// node is ready for Send/Recv once every rank has connected.
+// ConnectTCP completes the mesh for the given rank with default options:
+// it accepts connections from higher ranks on ln and dials every lower
+// rank at addrs[i], retrying refused dials with capped exponential backoff
+// (so ranks may start in any order) under a 30s overall deadline.
 func ConnectTCP(rank, size int, ln net.Listener, addrs []string) (*TCPNode, error) {
+	return ConnectTCPOpts(rank, size, ln, addrs, TCPOptions{})
+}
+
+// ConnectTCPOpts is ConnectTCP with explicit mesh-formation and per-op
+// deadline options. addrs[i] must hold rank i's listener address for
+// i < rank. The returned node is ready for Send/Recv once every rank has
+// connected.
+func ConnectTCPOpts(rank, size int, ln net.Listener, addrs []string, opts TCPOptions) (*TCPNode, error) {
 	if rank < 0 || rank >= size {
 		return nil, fmt.Errorf("mpi: rank %d out of range", rank)
 	}
+	opts = opts.withDefaults()
 	n := &TCPNode{
 		rank:     rank,
 		size:     size,
+		opts:     opts,
 		box:      newMailbox(),
 		conns:    make([]net.Conn, size),
 		writeMu:  make([]sync.Mutex, size),
 		listener: ln,
 	}
-	// Dial every lower rank, identifying ourselves.
+	var deadline time.Time
+	if opts.ConnectTimeout > 0 {
+		deadline = time.Now().Add(opts.ConnectTimeout)
+	}
+	// Dial every lower rank, identifying ourselves. A refused dial means
+	// the peer's listener is not up yet — retry with backoff until the
+	// overall deadline.
 	for peer := 0; peer < rank; peer++ {
-		conn, err := net.Dial("tcp", addrs[peer])
+		conn, err := dialRetry(addrs[peer], deadline, opts)
 		if err != nil {
-			return nil, errors.Join(fmt.Errorf("mpi: rank %d dialing rank %d: %w", rank, peer, err), n.Close())
+			return nil, errors.Join(&TransportError{Op: "dial", Peer: peer, Tag: -1, Err: err}, n.Close())
+		}
+		if !deadline.IsZero() {
+			if err := conn.SetWriteDeadline(deadline); err != nil {
+				return nil, errors.Join(err, conn.Close(), n.Close())
+			}
 		}
 		var hello [4]byte
 		binary.BigEndian.PutUint32(hello[:], uint32(rank))
 		if _, err := conn.Write(hello[:]); err != nil {
-			return nil, errors.Join(err, n.Close())
+			return nil, errors.Join(&TransportError{Op: "dial", Peer: peer, Tag: -1, Err: wireErr(err)}, conn.Close(), n.Close())
+		}
+		if err := conn.SetWriteDeadline(time.Time{}); err != nil {
+			return nil, errors.Join(err, conn.Close(), n.Close())
 		}
 		n.conns[peer] = conn
 	}
-	// Accept one connection from every higher rank.
+	// Accept one connection from every higher rank, bounded by the same
+	// overall deadline when the listener supports it.
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if dl, ok := ln.(deadliner); ok && !deadline.IsZero() {
+		if err := dl.SetDeadline(deadline); err != nil {
+			return nil, errors.Join(err, n.Close())
+		}
+		defer func() {
+			// Best-effort: the mesh is formed (or torn down) either way.
+			_ = dl.SetDeadline(time.Time{}) //soilint:ignore errdrop -- clearing a deadline on an already-validated listener cannot meaningfully fail
+		}()
+	}
 	for accepted := 0; accepted < size-1-rank; accepted++ {
 		conn, err := ln.Accept()
 		if err != nil {
-			return nil, errors.Join(err, n.Close())
+			return nil, errors.Join(&TransportError{Op: "accept", Peer: AnySource, Tag: -1, Err: wireErr(err)}, n.Close())
 		}
 		var hello [4]byte
+		if !deadline.IsZero() {
+			if err := conn.SetReadDeadline(deadline); err != nil {
+				return nil, errors.Join(err, conn.Close(), n.Close())
+			}
+		}
 		if _, err := io.ReadFull(conn, hello[:]); err != nil {
-			return nil, errors.Join(err, n.Close())
+			return nil, errors.Join(&TransportError{Op: "accept", Peer: AnySource, Tag: -1, Err: wireErr(err)}, conn.Close(), n.Close())
+		}
+		if err := conn.SetReadDeadline(time.Time{}); err != nil {
+			return nil, errors.Join(err, conn.Close(), n.Close())
 		}
 		peer := int(binary.BigEndian.Uint32(hello[:]))
 		if peer <= rank || peer >= size || n.conns[peer] != nil {
-			conn.Close()
-			return nil, errors.Join(fmt.Errorf("mpi: rank %d got invalid hello from %d", rank, peer), n.Close())
+			err := fmt.Errorf("mpi: rank %d got invalid hello from %d", rank, peer)
+			return nil, errors.Join(err, conn.Close(), n.Close())
 		}
 		n.conns[peer] = conn
 	}
@@ -96,12 +184,48 @@ func ConnectTCP(rank, size int, ln net.Listener, addrs []string) (*TCPNode, erro
 	return n, nil
 }
 
+// dialRetry dials addr until it succeeds or the overall deadline passes,
+// backing off exponentially (capped) between attempts.
+func dialRetry(addr string, deadline time.Time, opts TCPOptions) (net.Conn, error) {
+	backoff := opts.DialBackoff
+	for attempt := 1; ; attempt++ {
+		timeout := time.Duration(0) // 0 = no per-attempt bound
+		if !deadline.IsZero() {
+			timeout = time.Until(deadline)
+			if timeout <= 0 {
+				return nil, fmt.Errorf("%w: mesh formation deadline passed before dialing %s", ErrTimeout, addr)
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return conn, nil
+		}
+		if !deadline.IsZero() && time.Now().Add(backoff).After(deadline) {
+			return nil, fmt.Errorf("%w: dialing %s failed after %d attempts: %w", ErrTimeout, addr, attempt, err)
+		}
+		time.Sleep(backoff)
+		backoff = min(backoff*2, opts.DialBackoffMax)
+	}
+}
+
+// wireErr maps a network error onto the typed sentinel vocabulary:
+// timeouts wrap ErrTimeout, everything else (reset, EOF, closed socket)
+// wraps ErrClosed.
+func wireErr(err error) error {
+	var ne net.Error
+	if errors.As(err, &ne) && ne.Timeout() {
+		return fmt.Errorf("%w: %w", ErrTimeout, err)
+	}
+	return fmt.Errorf("%w: %w", ErrClosed, err)
+}
+
 func (n *TCPNode) readLoop(peer int, conn net.Conn) {
 	br := bufio.NewReaderSize(conn, 1<<16)
 	var hdr [12]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return // connection closed
+			n.peerLost(peer, err)
+			return
 		}
 		src := int(binary.BigEndian.Uint32(hdr[0:4]))
 		tag := int(binary.BigEndian.Uint32(hdr[4:8]))
@@ -109,6 +233,7 @@ func (n *TCPNode) readLoop(peer int, conn net.Conn) {
 		data := make([]complex128, count)
 		buf := make([]byte, 16*count)
 		if _, err := io.ReadFull(br, buf); err != nil {
+			n.peerLost(peer, err)
 			return
 		}
 		for i := 0; i < count; i++ {
@@ -121,6 +246,22 @@ func (n *TCPNode) readLoop(peer int, conn net.Conn) {
 			return
 		}
 	}
+}
+
+// peerLost records a broken connection: every unmatched receive naming the
+// peer fails immediately with a typed error (wildcard receives and other
+// peers are unaffected). During an orderly Close of this node the loss is
+// expected and not recorded.
+func (n *TCPNode) peerLost(peer int, cause error) {
+	if n.closed.Load() {
+		return
+	}
+	n.box.markDead(peer, &TransportError{
+		Op:   "recv",
+		Peer: peer,
+		Tag:  -1,
+		Err:  fmt.Errorf("%w: connection to rank %d lost: %w", ErrClosed, peer, cause),
+	})
 }
 
 func (n *TCPNode) Rank() int { return n.rank }
@@ -148,27 +289,52 @@ func (n *TCPNode) Send(dst, tag int, data []complex128) error {
 	}
 	mu := &n.writeMu[dst]
 	mu.Lock()
-	_, err := n.conns[dst].Write(buf)
-	mu.Unlock()
-	return err
+	defer mu.Unlock()
+	conn := n.conns[dst]
+	if d := n.opts.OpTimeout; d > 0 {
+		if err := conn.SetWriteDeadline(time.Now().Add(d)); err != nil {
+			return &TransportError{Op: "send", Peer: dst, Tag: tag, Err: wireErr(err)}
+		}
+	}
+	if _, err := conn.Write(buf); err != nil {
+		return &TransportError{Op: "send", Peer: dst, Tag: tag, Err: wireErr(err)}
+	}
+	return nil
 }
 
 func (n *TCPNode) Recv(src, tag int) ([]complex128, int, error) {
-	return n.box.get(src, tag)
+	var deadline time.Time
+	if d := n.opts.OpTimeout; d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	return n.RecvDeadline(src, tag, deadline)
+}
+
+// RecvDeadline implements DeadlineRecver: a Recv that fails with a
+// *TransportError wrapping ErrTimeout once deadline passes.
+func (n *TCPNode) RecvDeadline(src, tag int, deadline time.Time) ([]complex128, int, error) {
+	data, from, err := n.box.get(src, tag, deadline)
+	if errors.Is(err, ErrTimeout) {
+		return nil, 0, &TransportError{Op: "recv", Peer: src, Tag: tag, Err: err}
+	}
+	return data, from, err
 }
 
 // Close tears down the mesh and the listener.
 func (n *TCPNode) Close() error {
 	n.closeOnce.Do(func() {
+		n.closed.Store(true)
 		n.box.close()
+		var errs []error
 		for _, c := range n.conns {
 			if c != nil {
-				c.Close()
+				errs = append(errs, c.Close())
 			}
 		}
 		if n.listener != nil {
-			n.listener.Close()
+			errs = append(errs, n.listener.Close())
 		}
+		n.closeErr = errors.Join(errs...)
 	})
-	return nil
+	return n.closeErr
 }

@@ -1,0 +1,12 @@
+package serve
+
+import (
+	"testing"
+
+	"soifft/internal/testutil"
+)
+
+// TestMain pins that graceful drain and connection teardown actually reap
+// the serving layer's goroutines: scheduler workers, per-connection
+// reader/writer pairs, and the pipelined client's demux loop.
+func TestMain(m *testing.M) { testutil.CheckMain(m) }

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// Native fuzz targets for the two decode surfaces a hostile or corrupted
+// peer can reach: the fixed frame header and the streaming vector codec.
+// Both must never panic on arbitrary bytes, and every accepted input must
+// survive a decode -> encode -> decode round trip unchanged. Corpus seeds
+// live in testdata/fuzz/ (one valid frame of each type plus truncations
+// and corruptions); `go test -fuzz` grows them further.
+
+// validHeaderBytes encodes a representative valid header.
+func validHeaderBytes(t Type) []byte {
+	var b bytes.Buffer
+	h := Header{Type: t, Alg: AlgSOI, Flags: FlagInverse, Code: CodeOverloaded,
+		Count: 3, ReqID: 77, N: 1 << 20, Deadline: 1700000000_000000000, PayloadLen: 48 * BytesPerElem}
+	if err := WriteHeader(&b, &h); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+func FuzzReadHeader(f *testing.F) {
+	for ty := TForward; ty <= TStatsResult; ty++ {
+		f.Add(validHeaderBytes(ty))
+	}
+	f.Add(validHeaderBytes(TForward)[:17])         // truncated mid-header
+	f.Add([]byte{})                                // empty stream
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderLen))   // all-ones garbage
+	corrupt := validHeaderBytes(TBatch)
+	corrupt[0] ^= 0x40 // bad magic
+	f.Add(corrupt)
+	wrongVer := validHeaderBytes(TStats)
+	wrongVer[2] = Version + 9
+	f.Add(wrongVer)
+	badType := validHeaderBytes(TResult)
+	badType[3] = 0
+	f.Add(badType)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := ReadHeader(bytes.NewReader(data))
+		if err != nil {
+			return // rejection is fine; panicking is not
+		}
+		// Accepted: must re-encode to a header that decodes identically.
+		var out bytes.Buffer
+		if err := WriteHeader(&out, &h); err != nil {
+			t.Fatalf("re-encoding accepted header %+v: %v", h, err)
+		}
+		h2, err := ReadHeader(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded header: %v (header %+v)", err, h)
+		}
+		if h != h2 {
+			t.Fatalf("header round trip changed: %+v -> %+v", h, h2)
+		}
+		// CheckTransformPayload must classify, never panic, on any header.
+		_ = CheckTransformPayload(&h)
+	})
+}
+
+func FuzzReadVector(f *testing.F) {
+	var seed bytes.Buffer
+	if err := WriteVector(&seed, []complex128{1, 2i, complex(3, -4), -0.5}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x7F}, BytesPerElem*3))
+	f.Add(bytes.Repeat([]byte{0xFF}, BytesPerElem+7)) // trailing partial element
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Interpret as many whole elements as the bytes hold: decode must
+		// accept exactly those and round-trip them bit-identically —
+		// including NaN and infinity bit patterns, which the codec moves
+		// via math.Float64bits rather than float arithmetic.
+		n := len(data) / BytesPerElem
+		whole := data[:n*BytesPerElem]
+		dst := make([]complex128, n)
+		if err := ReadVector(bytes.NewReader(whole), dst); err != nil {
+			t.Fatalf("ReadVector rejected %d whole elements: %v", n, err)
+		}
+		var out bytes.Buffer
+		if err := WriteVector(&out, dst); err != nil {
+			t.Fatalf("WriteVector: %v", err)
+		}
+		if !bytes.Equal(out.Bytes(), whole) {
+			t.Fatalf("vector round trip changed %d-element payload", n)
+		}
+		// A truncated stream (partial trailing element) must error, not
+		// hang or panic.
+		if len(data) > n*BytesPerElem {
+			err := ReadVector(bytes.NewReader(data), make([]complex128, n+1))
+			if err == nil {
+				t.Fatal("ReadVector accepted a truncated element")
+			}
+		}
+	})
+}
+
+// FuzzFrameSequence feeds the header + payload pipeline the way a server
+// connection consumes it: decode header, then payload or discard — the
+// length-prefix resync discipline must hold for arbitrary bytes.
+func FuzzFrameSequence(f *testing.F) {
+	var frame bytes.Buffer
+	h := Header{Type: TForward, Alg: AlgAuto, Count: 1, ReqID: 1, N: 4, PayloadLen: 4 * BytesPerElem}
+	if err := WriteHeader(&frame, &h); err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteVector(&frame, []complex128{1, 2, 3, 4}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(frame.Bytes())
+	f.Add(frame.Bytes()[:HeaderLen+5])
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			h, err := ReadHeader(r)
+			if err != nil {
+				return
+			}
+			// Cap what we buffer from a hostile length (the server does the
+			// same via geometry checks); discard oversized payloads.
+			if CheckTransformPayload(&h) == nil && h.N*uint64(h.Count) <= 1<<16 {
+				dst := make([]complex128, int(h.N)*int(h.Count))
+				if err := ReadVector(r, dst); err != nil {
+					return
+				}
+			} else if err := DiscardPayload(r, h.PayloadLen%(1<<20)); err != nil {
+				return
+			}
+		}
+	})
+}
+
+// TestFuzzSeedsRegression replays the checked-in seed shapes through the
+// fuzz bodies once, so `go test` (without -fuzz) pins them as regressions.
+func TestFuzzSeedsRegression(t *testing.T) {
+	for ty := TForward; ty <= TStatsResult; ty++ {
+		b := validHeaderBytes(ty)
+		h, err := ReadHeader(bytes.NewReader(b))
+		if err != nil {
+			t.Fatalf("valid %v header rejected: %v", ty, err)
+		}
+		if h.Type != ty {
+			t.Fatalf("type %v decoded as %v", ty, h.Type)
+		}
+	}
+	if _, err := ReadHeader(bytes.NewReader(validHeaderBytes(TForward)[:17])); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	var tooBig [HeaderLen]byte
+	binary.LittleEndian.PutUint16(tooBig[0:], Magic)
+	tooBig[2] = Version
+	tooBig[3] = byte(TForward)
+	if _, err := ReadHeader(bytes.NewReader(tooBig[:])); err != nil {
+		t.Fatalf("zero-geometry header must decode (geometry checks are separate): %v", err)
+	}
+	if err := ReadVector(bytes.NewReader(nil), make([]complex128, 1)); err == nil {
+		t.Fatal("ReadVector accepted an empty stream for one element")
+	}
+	if err := ReadVector(io.LimitReader(bytes.NewReader(bytes.Repeat([]byte{1}, 100)), 20), make([]complex128, 2)); err == nil {
+		t.Fatal("ReadVector accepted a short stream")
+	}
+}

@@ -38,6 +38,14 @@ run_gate "soilint ./..." go run ./cmd/soilint ./...
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
 run_gate "bcebudget (bounds-check gate)" go run ./cmd/bcebudget
 run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist ./internal/serve ./internal/wire ./client
+run_gate "go test -race (fault-injection sweep)" go test -race ./internal/faultcomm ./internal/testutil
+
+# Fuzz smoke: each wire decode surface gets a brief randomized pass beyond
+# the checked-in corpus. `go test -fuzz` accepts exactly one target per
+# invocation, hence one gate per target.
+for target in FuzzReadHeader FuzzReadVector FuzzFrameSequence; do
+    run_gate "fuzz smoke $target" go test ./internal/wire -run '^$' -fuzz "^${target}\$" -fuzztime 5s
+done
 
 if [ -n "$failures" ]; then
     echo "check.sh: FAILED gates:$failures"
