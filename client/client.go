@@ -29,6 +29,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"soifft/internal/wire"
@@ -48,6 +49,10 @@ const (
 // ErrClosed is returned by calls on a closed client.
 var ErrClosed = errors.New("soifft client: connection closed")
 
+// defaultIOTimeout bounds each request write and each in-frame response
+// read when no sooner context deadline applies. See SetIOTimeout.
+const defaultIOTimeout = time.Minute
+
 // pending tracks one in-flight request: the reader goroutine fills dst and
 // signals ch.
 type pending struct {
@@ -58,6 +63,10 @@ type pending struct {
 // Client is a pipelined soifftd connection. Safe for concurrent use.
 type Client struct {
 	alg Alg
+
+	// ioTimeout (nanoseconds) bounds each request write and each in-frame
+	// response read; between frames the reader parks without a deadline.
+	ioTimeout atomic.Int64
 
 	wmu    sync.Mutex // serializes request frames onto bw
 	conn   net.Conn
@@ -95,6 +104,7 @@ func New(conn net.Conn) *Client {
 		stats:      make(map[uint64]chan statsResult),
 		readerDone: make(chan struct{}),
 	}
+	c.ioTimeout.Store(int64(defaultIOTimeout))
 	go c.readLoop()
 	return c
 }
@@ -102,6 +112,28 @@ func New(conn net.Conn) *Client {
 // SetAlg sets the algorithm selector used by Forward/Inverse/Batch
 // (default Auto). Not safe to race with in-flight calls.
 func (c *Client) SetAlg(a Alg) { c.alg = a }
+
+// SetIOTimeout bounds each request write and each in-frame response read
+// (default one minute); a sooner context deadline takes precedence for
+// writes. A server that stops reading wedges the writer through TCP
+// backpressure, and one that stalls mid-response wedges the shared
+// demultiplexer — the bound turns both into errors. Non-positive values
+// are ignored.
+func (c *Client) SetIOTimeout(d time.Duration) {
+	if d > 0 {
+		c.ioTimeout.Store(int64(d))
+	}
+}
+
+// writeDeadline bounds one request write: the I/O timeout from now, or the
+// context deadline if that is sooner.
+func (c *Client) writeDeadline(ctx context.Context) time.Time {
+	wd := time.Now().Add(time.Duration(c.ioTimeout.Load()))
+	if dl, ok := ctx.Deadline(); ok && dl.Before(wd) {
+		wd = dl
+	}
+	return wd
+}
 
 // Close tears the connection down; in-flight calls fail with ErrClosed.
 func (c *Client) Close() error {
@@ -166,7 +198,10 @@ func (c *Client) transform(ctx context.Context, dst, src []complex128, count int
 	h.ReqID = id
 
 	c.wmu.Lock()
-	err = wire.WriteHeader(c.bw, &h)
+	err = c.conn.SetWriteDeadline(c.writeDeadline(ctx))
+	if err == nil {
+		err = wire.WriteHeader(c.bw, &h)
+	}
 	if err == nil {
 		err = wire.WriteVector(c.bw, src)
 	}
@@ -200,7 +235,10 @@ func (c *Client) Stats(ctx context.Context) (map[string]float64, error) {
 	}
 	h := wire.Header{Type: wire.TStats, ReqID: id}
 	c.wmu.Lock()
-	err = wire.WriteHeader(c.bw, &h)
+	err = c.conn.SetWriteDeadline(c.writeDeadline(ctx))
+	if err == nil {
+		err = wire.WriteHeader(c.bw, &h)
+	}
 	if err == nil {
 		err = c.bw.Flush()
 	}
@@ -294,8 +332,15 @@ func (c *Client) readLoop() {
 	br := bufio.NewReaderSize(c.conn, 64<<10)
 	var fatal error
 	for {
-		h, err := wire.ReadHeader(br)
+		h, err := wire.ReadHeader(br) //soilint:ignore deadlineflow the demultiplexer parks between frames by design; Close fails this read to stop it
 		if err != nil {
+			fatal = err
+			break
+		}
+		// The header promises a payload: bound the in-frame reads so a
+		// server that stalls mid-frame cannot wedge every caller behind a
+		// silently stuck demultiplexer.
+		if err := c.conn.SetReadDeadline(time.Now().Add(time.Duration(c.ioTimeout.Load()))); err != nil {
 			fatal = err
 			break
 		}
@@ -339,6 +384,11 @@ func (c *Client) readLoop() {
 			fatal = fmt.Errorf("soifft client: unexpected frame type %v", h.Type)
 		}
 		if fatal != nil {
+			break
+		}
+		// Frame consumed: back to the unbounded idle park.
+		if err := c.conn.SetReadDeadline(time.Time{}); err != nil {
+			fatal = err
 			break
 		}
 	}

@@ -2,8 +2,10 @@ package client
 
 import (
 	"context"
+	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"soifft/internal/wire"
 )
@@ -37,6 +39,54 @@ func TestTransformArgChecks(t *testing.T) {
 	if err := c.Batch(ctx, make([]complex128, 8), make([]complex128, 8), 3, false); err == nil ||
 		!strings.Contains(err.Error(), "count") {
 		t.Errorf("non-dividing count: %v", err)
+	}
+}
+
+// TestTransformPeerStopsReading pins the no-hang write path (the fix for
+// the deadlineflow findings on transform's frame writes): a peer that
+// accepts the connection and then never reads lets the socket buffers fill
+// mid-payload, and without a write deadline the client would wedge forever
+// inside wire.WriteVector. With the I/O timeout armed, Transform must
+// return a timeout error promptly even though the context has no deadline.
+func TestTransformPeerStopsReading(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c // hold the conn open; never read from it
+		}
+	}()
+
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	cl.SetIOTimeout(200 * time.Millisecond)
+
+	// 8 MiB of payload: far beyond any loopback socket buffering, so the
+	// frame write must block in the kernel until the deadline fires.
+	n := 1 << 19
+	src := make([]complex128, n)
+	dst := make([]complex128, n)
+	start := time.Now()
+	err = cl.Forward(context.Background(), dst, src)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Forward against a peer that never reads returned nil, want a timeout error")
+	}
+	if elapsed > 10*time.Second {
+		t.Fatalf("Forward took %v to fail; the write deadline did not bound the blocked write (err: %v)", elapsed, err)
+	}
+	select {
+	case c := <-accepted:
+		c.Close()
+	default:
 	}
 }
 

@@ -22,7 +22,7 @@
 //
 //	bcebudget [-budget bce_budget.json] [-update] [-v] [packages...]
 //
-// With no packages, the four compute-kernel packages are audited. -update
+// With no packages, the six hot packages are audited. -update
 // rewrites the budget file to match the current tree (use after deliberate
 // changes, reviewing the diff). Exit codes: 0 within budget, 1 over budget,
 // 2 usage or toolchain failure.
@@ -40,14 +40,19 @@ import (
 )
 
 // hotPackages are the audited kernels: the four packages whose inner loops
-// execute per element per transform. The pipeline drivers (internal/soi,
-// internal/dist) are covered by escapebudget but not here: their per-call
-// slicing is O(segments), not O(N), so bounds checks there are noise.
+// execute per element per transform, plus the serving layer's per-frame
+// path — the wire codec's encode/decode loops and the scheduler's batch
+// assembly also run per element per request. The pipeline drivers
+// (internal/soi, internal/dist) are covered by escapebudget but not here:
+// their per-call slicing is O(segments), not O(N), so bounds checks there
+// are noise.
 var hotPackages = []string{
 	"./internal/fft",
 	"./internal/conv",
 	"./internal/cvec",
 	"./internal/window",
+	"./internal/serve",
+	"./internal/wire",
 }
 
 // bceFlag is the SSA debug flag that reports every surviving bounds check.

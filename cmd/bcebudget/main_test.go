@@ -66,6 +66,21 @@ func TestGateAgainstTree(t *testing.T) {
 	}
 }
 
+// TestWidenedCoverage pins the audited package set: the serving layer's
+// per-frame path (wire codec loops, scheduler batch assembly) is budgeted
+// alongside the compute kernels.
+func TestWidenedCoverage(t *testing.T) {
+	want := []string{"fft", "conv", "cvec", "window", "serve", "wire"}
+	if len(hotPackages) != len(want) {
+		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
+	}
+	for i, suffix := range want {
+		if !strings.HasSuffix(hotPackages[i], suffix) {
+			t.Errorf("hotPackages[%d] = %q, want suffix %q", i, hotPackages[i], suffix)
+		}
+	}
+}
+
 // TestHoistedKernelsStayHoisted pins the BCE wins of the reslice hoists:
 // the hot pointwise kernels must keep their accumulation loops free of
 // per-iteration checks. Their budget entries are the one-time preamble

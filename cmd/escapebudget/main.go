@@ -18,7 +18,7 @@
 //
 //	escapebudget [-budget escape_budget.json] [-update] [-v] [packages...]
 //
-// With no packages, the six hot packages are audited. -update rewrites the
+// With no packages, the eight hot packages are audited. -update rewrites the
 // budget file to match the current tree (use after deliberate changes,
 // reviewing the diff). Exit codes: 0 within budget, 1 over budget, 2 usage
 // or toolchain failure.
@@ -36,8 +36,10 @@ import (
 )
 
 // hotPackages are the audited kernels: the paper's bandwidth-bound compute
-// paths (where PR 1 removed hot-loop allocations) plus the single-node and
-// distributed pipeline drivers that orchestrate them per transform.
+// paths (where PR 1 removed hot-loop allocations), the single-node and
+// distributed pipeline drivers that orchestrate them per transform, and the
+// serving layer's per-frame path (codec + scheduler), whose allocations
+// recur per request rather than per plan.
 var hotPackages = []string{
 	"./internal/fft",
 	"./internal/conv",
@@ -45,6 +47,8 @@ var hotPackages = []string{
 	"./internal/window",
 	"./internal/soi",
 	"./internal/dist",
+	"./internal/serve",
+	"./internal/wire",
 }
 
 // isEscape keeps the escape-analysis verdicts out of the -m -m chatter

@@ -64,10 +64,11 @@ func TestGateAgainstTree(t *testing.T) {
 
 // TestWidenedCoverage pins the audited package set: the pipeline drivers
 // joined the kernel packages once their per-transform allocations were
-// pooled, so a new escape in internal/soi or internal/dist fails the gate
-// like one in internal/fft does.
+// pooled, and the serving layer (frame codec + scheduler) joined once its
+// per-request path was pooled too, so a new escape in internal/serve or
+// internal/wire fails the gate like one in internal/fft does.
 func TestWidenedCoverage(t *testing.T) {
-	want := []string{"fft", "conv", "cvec", "window", "soi", "dist"}
+	want := []string{"fft", "conv", "cvec", "window", "soi", "dist", "serve", "wire"}
 	if len(hotPackages) != len(want) {
 		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
 	}

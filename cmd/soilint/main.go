@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	soilint [-json] [-sarif] [-checks hotalloc,errdrop,...] [-v] [packages]
+//	soilint [-json] [-sarif] [-stats] [-checks hotalloc,errdrop,...] [-v] [packages]
 //
 // Packages default to ./... relative to the enclosing module root. Exit
 // status: 0 clean, 1 findings, 2 usage or load failure. -sarif emits SARIF
-// 2.1.0 (for CI code-scanning upload) instead of the plain listing; like
-// -json it still exits 1 on findings. Findings are suppressed line-by-line
+// 2.1.0 (for CI code-scanning upload) instead of the plain listing; -stats
+// emits per-check active/suppressed counts as JSON (the CI lint-trend
+// artifact); like -json both still exit 1 on findings. Findings are
+// suppressed line-by-line
 // with a justified "//soilint:ignore <check>" comment on the offending line
 // or the line above, or file-wide with "//soilint:file-ignore <check> --
 // <reason>" at the top of the file (the reason is mandatory). Analyzer
@@ -22,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -36,10 +39,11 @@ func main() {
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
+	statsOut := flag.Bool("stats", false, "emit per-check active/suppressed counts as JSON")
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	verbose := flag.Bool("v", false, "also list suppressed findings, analyzer notes and type-check warnings")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-sarif] [-checks list] [-v] [packages]\navailable checks:\n")
+		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-sarif] [-stats] [-checks list] [-v] [packages]\navailable checks:\n")
 		for _, a := range analysis.All {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -88,6 +92,11 @@ func run() int {
 	relativize(root, notes)
 
 	switch {
+	case *statsOut:
+		if err := writeStats(os.Stdout, analyzers, active, suppressed); err != nil {
+			fmt.Fprintln(os.Stderr, "soilint:", err)
+			return 2
+		}
 	case *sarifOut:
 		if err := writeSARIF(os.Stdout, analyzers, active); err != nil {
 			fmt.Fprintln(os.Stderr, "soilint:", err)
@@ -118,12 +127,48 @@ func run() int {
 		}
 	}
 	if len(active) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*statsOut {
 			fmt.Fprintf(os.Stderr, "soilint: %d finding(s)\n", len(active))
 		}
 		return 1
 	}
 	return 0
+}
+
+// checkStats is one row of the -stats output.
+type checkStats struct {
+	Active     int `json:"active"`
+	Suppressed int `json:"suppressed"`
+}
+
+// writeStats emits per-check finding counts as JSON. Every selected check
+// gets a row, zeros included, so successive CI trend artifacts diff cleanly
+// even when a check goes quiet.
+func writeStats(w io.Writer, analyzers []*analysis.Analyzer, active, suppressed []analysis.Diagnostic) error {
+	checks := make(map[string]*checkStats, len(analyzers))
+	for _, a := range analyzers {
+		checks[a.Name] = &checkStats{}
+	}
+	var total checkStats
+	for _, d := range active {
+		if c := checks[d.Check]; c != nil {
+			c.Active++
+		}
+		total.Active++
+	}
+	for _, d := range suppressed {
+		if c := checks[d.Check]; c != nil {
+			c.Suppressed++
+		}
+		total.Suppressed++
+	}
+	out := struct {
+		Total  checkStats             `json:"total"`
+		Checks map[string]*checkStats `json:"checks"`
+	}{Total: total, Checks: checks}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }
 
 // relativize rewrites absolute file paths relative to the module root for

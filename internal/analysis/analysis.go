@@ -13,6 +13,16 @@
 // mutated in flight (bufalias), and a stored communicator error must be
 // observed on every path to return (errflow).
 //
+// The third tier is interprocedural (ipa.go): a module-local call graph
+// (direct calls, single-assignment function values, interface dispatch to
+// the known concrete set) with memoized, cycle-tolerant per-function
+// summaries, feeding four concurrency-lifecycle analyzers — goroutines
+// must have a bounded exit (goleak), channel close/send protocols and
+// annotated //soilint:chan ownership contracts must hold (chanlife),
+// blocking transport calls reachable from serving entry points must
+// observe a deadline (deadlineflow), and the mutex acquisition graph must
+// be cycle-free with no lock-held re-acquisition (lockorder).
+//
 // The framework is standard-library only (go/ast, go/parser, go/token,
 // go/types): a Loader that parses and type-checks module packages, an
 // Analyzer interface with position-carrying Diagnostics, and two
@@ -92,7 +102,7 @@ func (p *Pass) diagAt(pos token.Pos, format string, args ...any) Diagnostic {
 }
 
 // All lists every registered analyzer in stable order.
-var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck}
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder}
 
 // ByName resolves a comma-separated check list ("hotalloc,errdrop") against
 // the registry; the empty string selects all analyzers.

@@ -108,6 +108,53 @@ func TestAnalyzersGolden(t *testing.T) {
 			wantSuppressed: []int{112},
 		},
 		{
+			// True positives: bare receive (15), WaitGroup.Wait (22),
+			// escape-free select (29), a leak inside a named callee (44)
+			// and inside a bound function value (50). The close-blessed,
+			// buffered, ctx/timer/default and interface-dispatch shapes
+			// stay silent.
+			name:           "goleak",
+			dir:            fixtureDir("goleak"),
+			analyzer:       GoLeak,
+			wantActive:     []int{15, 22, 29, 44, 50},
+			wantSuppressed: []int{116},
+		},
+		{
+			// Send-after-close (13), double close (20), close in a loop
+			// (27), token contract without/after mu (57, 64), close outside
+			// the owner (74), the two bad directives (79 malformed role,
+			// 84 unbound), and a send under a token naming a mutex that
+			// does not exist (94, reported at the send).
+			name:           "chanlife",
+			dir:            fixtureDir("chanlife"),
+			analyzer:       ChanLife,
+			wantActive:     []int{13, 20, 27, 57, 64, 74, 79, 84, 94},
+			wantSuppressed: []int{102},
+		},
+		{
+			// The A->B / B->A cycle edges (15, 23), a callee re-acquiring a
+			// held mutex (43), a direct double Lock (50), and the wrapper
+			// whose interface dispatch may re-enter itself (84). The
+			// unlock-before-call and goroutine hand-off shapes stay silent.
+			name:           "lockorder",
+			dir:            fixtureDir("lockorder"),
+			analyzer:       LockOrder,
+			wantActive:     []int{15, 23, 43, 50, 84},
+			wantSuppressed: []int{91},
+		},
+		{
+			// Bare reads/writes in an entry (25), in a helper reached from
+			// it (34), on one branch only (51), under the wrong deadline
+			// kind (58), an unbounded collective (70) and a goroutine read
+			// (83). The all-path, combined-deadline, bounded-variant and
+			// unreached-function shapes stay silent.
+			name:           "deadlineflow",
+			dir:            fixtureDir("deadlineflow", "internal", "serve"),
+			analyzer:       DeadlineFlow,
+			wantActive:     []int{25, 34, 51, 58, 70, 83},
+			wantSuppressed: []int{102},
+		},
+		{
 			name:           "file-ignore suppresses named check",
 			dir:            fixtureDir("fileignore"),
 			analyzer:       ErrDrop,

@@ -415,6 +415,70 @@ func (g *funcCFG) reachableAfter(n ast.Node) func(ast.Node) bool {
 	}
 }
 
+// pathMark classifies a CFG node for backward must-analyses: markSatisfy
+// ends a backward path successfully (the guarding fact was established),
+// markKill ends it unsuccessfully (the fact was destroyed), markNone is
+// transparent.
+type pathMark int
+
+const (
+	markNone pathMark = iota
+	markSatisfy
+	markKill
+)
+
+// precededOnAllPaths reports whether every backward path from node to the
+// function entry hits a markSatisfy node before a markKill node. Loops are
+// handled optimistically (a back edge defers to the paths that enter the
+// loop), so a fact established before a loop guards every iteration unless
+// a kill inside the loop intervenes. This is the shared core of chanlife's
+// token-held check and deadlineflow's deadline-observed check.
+func (g *funcCFG) precededOnAllPaths(node ast.Node, classify func(ast.Node) pathMark) bool {
+	p, ok := g.pos[node]
+	if !ok {
+		return false
+	}
+	preds := make(map[*cfgBlock][]*cfgBlock)
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+	memo := make(map[*cfgBlock]pathMark) // markSatisfy = all paths ok (or in progress)
+	var blockOK func(b *cfgBlock, from int) bool
+	blockOK = func(b *cfgBlock, from int) bool {
+		for i := from; i >= 0; i-- {
+			switch classify(b.nodes[i]) {
+			case markSatisfy:
+				return true
+			case markKill:
+				return false
+			}
+		}
+		if b == g.entry {
+			return false
+		}
+		if v, ok := memo[b]; ok {
+			return v == markSatisfy
+		}
+		memo[b] = markSatisfy // optimistic for cycles
+		ok := len(preds[b]) > 0
+		for _, pb := range preds[b] {
+			if !blockOK(pb, len(pb.nodes)-1) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			memo[b] = markSatisfy
+		} else {
+			memo[b] = markKill
+		}
+		return ok
+	}
+	return blockOK(p.b, p.idx-1)
+}
+
 // dropOnSomePath reports whether some execution path from the definition
 // node def to the function exit (or to a plain overwrite of obj) never
 // reads obj. This is the errflow core: an error variable whose value can

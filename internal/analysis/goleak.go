@@ -1,0 +1,480 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// GoLeak flags `go` statements whose goroutine has no bounded exit on some
+// path: a blocking channel receive/send/range, WaitGroup/Cond Wait, or a
+// select with no escape arm, none of which is bounded by a close-able
+// channel, a buffered channel, a ctx.Done()/timer arm, or a select
+// default. This is the static twin of the dynamic goroutine-leak gate in
+// internal/testutil: the leaks that gate catches after a test run are
+// exactly goroutines parked forever on one of these shapes.
+//
+// Boundedness is judged module-wide through the interprocedural view:
+//   - a receive/range is bounded if some module function closes the same
+//     channel identity (local object, or struct field — any instance);
+//   - a send is bounded if every `make` for that channel identity (or,
+//     for identities with no visible make, every make of that exact
+//     channel type in the module) has nonzero capacity;
+//   - a select is bounded if it has a default arm or an arm receiving
+//     from ctx.Done()-like methods, time.After/Tick, a timer/ticker .C
+//     field, or a close-blessed channel (send arms on buffered channels
+//     also count);
+//   - WaitGroup.Wait and Cond.Wait are never bounded (the analyzer cannot
+//     see the counter) — real uses carry a justified suppression.
+//
+// Calls are followed through the module-local call graph (direct calls,
+// single-assignment function values); interface dispatch and opaque
+// function values are assumed bounded — blocking I/O behind interfaces is
+// deadlineflow's domain.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "go statement whose goroutine may block forever with no bounded exit",
+	Run:  runGoLeak,
+}
+
+const maxLeakOpsPerGoroutine = 3
+
+func runGoLeak(pass *Pass) {
+	view := newIPAView(pass.Pkg)
+	bless := collectBlessings(view)
+	g := &goleakPass{
+		view:  view,
+		bless: bless,
+	}
+	g.sum = newSummarizer(func(def *funcDef) []string {
+		fname := funcDisplayName(def.fn)
+		return g.scanBody(def.pkg, def.decl.Body, fname)
+	})
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var ops []string
+			for _, c := range g.resolveBodies(pass.Pkg, gs.Call) {
+				if c.lit != nil {
+					fname := enclosingFuncName(f, gs)
+					if fname == "" {
+						fname = "func literal"
+					}
+					ops = append(ops, g.scanBody(c.pkg, c.lit.Body, fname)...)
+				} else if def := view.def(c.fn); def != nil && !c.viaIface {
+					ops = append(ops, g.sum.of(def)...)
+				}
+			}
+			if len(ops) > maxLeakOpsPerGoroutine {
+				ops = ops[:maxLeakOpsPerGoroutine]
+			}
+			for _, op := range ops {
+				pass.Reportf(gs.Pos(), "goroutine may never exit: %s (no close/ctx/timeout escape on some path)", op)
+			}
+			return true
+		})
+	}
+}
+
+type goleakPass struct {
+	view  *ipaView
+	bless *blessings
+	sum   *summarizer[[]string]
+}
+
+// resolveBodies resolves the call of a go statement to analyzable bodies.
+func (g *goleakPass) resolveBodies(pkg *Package, call *ast.CallExpr) []calleeRef {
+	refs := g.view.resolveCall(pkg, call)
+	for i := range refs {
+		if refs[i].lit != nil && refs[i].pkg == nil {
+			refs[i].pkg = pkg
+		}
+	}
+	return refs
+}
+
+// scanBody collects the unbounded blocking operations of one function
+// body, following module-local direct calls through the summarizer.
+func (g *goleakPass) scanBody(pkg *Package, body *ast.BlockStmt, fname string) []string {
+	var ops []string
+	add := func(format string, args ...any) {
+		if len(ops) < maxLeakOpsPerGoroutine {
+			ops = append(ops, fmt.Sprintf(format, args...))
+		}
+	}
+	// Comm operations of select statements are judged as part of their
+	// select, never individually.
+	commNodes := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm != nil {
+				commNodes[commOpNode(cc.Comm)] = true
+			}
+		}
+		return true
+	})
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			// A nested goroutine is a separate leak site, reported at its
+			// own go statement; only its argument expressions run here.
+			for _, a := range x.Call.Args {
+				walk(a)
+			}
+			return
+		case *ast.FuncLit:
+			// Literals run when called; invoked ones are walked at their
+			// call expression below.
+			return
+		case *ast.SelectStmt:
+			if !g.selectHasEscape(pkg, x) {
+				add("select with no escape case in %s", fname)
+			}
+			for _, cl := range x.Body.List {
+				if cc, ok := cl.(*ast.CommClause); ok {
+					for _, s := range cc.Body {
+						walk(s)
+					}
+				}
+			}
+			return
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" && !commNodes[x] {
+				if !g.boundedRecv(pkg, x.X) {
+					add("receive on '%s' in %s", exprName(x.X), fname)
+				}
+			}
+		case *ast.SendStmt:
+			if !commNodes[x] {
+				if !g.bless.bufferedChan(pkg, x.Chan) {
+					add("send on '%s' in %s", exprName(x.Chan), fname)
+				}
+			}
+			walk(x.Value)
+			return
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(x.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					if !g.bless.closedChan(pkg, x.X) {
+						add("range over '%s' in %s", exprName(x.X), fname)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if kind, arg := syncWaitCall(pkg.Info, x); kind != "" {
+				add("%s.Wait on '%s' in %s", kind, arg, fname)
+			}
+			for _, c := range g.view.resolveCall(pkg, x) {
+				switch {
+				case c.lit != nil:
+					lp := c.pkg
+					if lp == nil {
+						lp = pkg
+					}
+					for _, op := range g.scanBody(lp, c.lit.Body, fname) {
+						add("%s", op)
+					}
+				case c.viaIface:
+					// Interface dispatch: assumed bounded (see Doc).
+				default:
+					if def := g.view.def(c.fn); def != nil {
+						for _, op := range g.sum.of(def) {
+							add("%s", op)
+						}
+					}
+				}
+			}
+		}
+		// Generic descent.
+		ast.Inspect(n, func(m ast.Node) bool {
+			if m == n {
+				return true
+			}
+			walk(m)
+			return false
+		})
+	}
+	for _, s := range body.List {
+		walk(s)
+	}
+	return ops
+}
+
+// boundedRecv reports whether a receive from e is bounded: the operand is
+// a ctx.Done()-like call, a time.After/Tick call, a timer/ticker .C
+// field, or a close-blessed channel identity.
+func (g *goleakPass) boundedRecv(pkg *Package, e ast.Expr) bool {
+	if isEscapeChanExpr(pkg.Info, e) {
+		return true
+	}
+	return g.bless.closedChan(pkg, e)
+}
+
+// selectHasEscape reports whether a select has at least one arm that is
+// eventually runnable regardless of peer behavior.
+func (g *goleakPass) selectHasEscape(pkg *Package, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default arm
+		}
+		switch s := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if g.bless.bufferedChan(pkg, s.Chan) {
+				return true
+			}
+		default:
+			if recv := commRecvExpr(cc.Comm); recv != nil && g.boundedRecv(pkg, recv.X) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// commOpNode extracts the channel-operation node of a comm clause
+// statement (the SendStmt, or the receive UnaryExpr).
+func commOpNode(s ast.Stmt) ast.Node {
+	if recv := commRecvExpr(s); recv != nil {
+		return recv
+	}
+	return s
+}
+
+// commRecvExpr returns the receive expression of a comm clause statement,
+// or nil for send clauses.
+func commRecvExpr(s ast.Stmt) *ast.UnaryExpr {
+	var e ast.Expr
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		e = x.X
+	case *ast.AssignStmt:
+		if len(x.Rhs) == 1 {
+			e = x.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(e).(*ast.UnaryExpr)
+	if ok && u.Op.String() == "<-" {
+		return u
+	}
+	return nil
+}
+
+// isEscapeChanExpr recognizes channel expressions that become ready by
+// the runtime or a context, independent of any peer goroutine: a call to
+// a method named Done returning <-chan struct{} (context.Context and
+// look-alikes), time.After/time.Tick, and the .C field of time.Timer /
+// time.Ticker.
+func isEscapeChanExpr(info *types.Info, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		fn := calleeFunc(info, x)
+		if fn == nil {
+			return false
+		}
+		if pkgPathOf(fn) == "time" && (fn.Name() == "After" || fn.Name() == "Tick") {
+			return true
+		}
+		if fn.Name() == "Done" {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Results().Len() == 1 {
+				if ch, ok := sig.Results().At(0).Type().Underlying().(*types.Chan); ok {
+					return ch.Dir() == types.RecvOnly
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			f := sel.Obj()
+			if f.Name() == "C" && f.Pkg() != nil && f.Pkg().Path() == "time" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// syncWaitCall matches x.Wait() on sync.WaitGroup / sync.Cond, returning
+// the kind ("WaitGroup"/"Cond") and the receiver's rendered name.
+func syncWaitCall(info *types.Info, call *ast.CallExpr) (kind, arg string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "", ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	switch n.Obj().Name() {
+	case "WaitGroup", "Cond":
+		return n.Obj().Name(), exprName(sel.X)
+	}
+	return "", ""
+}
+
+// blessings is the module-wide channel-lifecycle evidence goleak judges
+// boundedness against.
+type blessings struct {
+	closed map[types.Object]bool // some module function closes this identity
+	makes  map[types.Object]*makeTally
+	byType map[string]*makeTally // fallback for identities with no visible make
+}
+
+type makeTally struct{ total, buffered int }
+
+func (t *makeTally) allBuffered() bool { return t != nil && t.total > 0 && t.buffered == t.total }
+
+// closedChan reports whether the operand's identity is close-blessed.
+func (b *blessings) closedChan(pkg *Package, e ast.Expr) bool {
+	return b.closed[refObj(pkg.Info, e)]
+}
+
+// bufferedChan reports whether every visible make of the operand's
+// identity (or failing that, of its exact channel type) has nonzero
+// capacity, so sends park only until a reader drains — never forever
+// while capacity remains.
+func (b *blessings) bufferedChan(pkg *Package, e ast.Expr) bool {
+	if obj := refObj(pkg.Info, e); obj != nil {
+		if t, ok := b.makes[obj]; ok {
+			return t.allBuffered()
+		}
+	}
+	if t := pkg.Info.TypeOf(e); t != nil {
+		return b.byType[types.TypeString(t, nil)].allBuffered()
+	}
+	return false
+}
+
+// collectBlessings scans every package of the view once for closes and
+// channel makes.
+func collectBlessings(view *ipaView) *blessings {
+	b := &blessings{
+		closed: make(map[types.Object]bool),
+		makes:  make(map[types.Object]*makeTally),
+		byType: make(map[string]*makeTally),
+	}
+	tally := func(m map[string]*makeTally, key string, buffered bool) {
+		t := m[key]
+		if t == nil {
+			t = &makeTally{}
+			m[key] = t
+		}
+		t.total++
+		if buffered {
+			t.buffered++
+		}
+	}
+	tallyObj := func(obj types.Object, buffered bool) {
+		if obj == nil {
+			return
+		}
+		t := b.makes[obj]
+		if t == nil {
+			t = &makeTally{}
+			b.makes[obj] = t
+		}
+		t.total++
+		if buffered {
+			t.buffered++
+		}
+	}
+	for _, p := range view.pkgs {
+		info := p.Info
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.CallExpr:
+					if calleeBuiltin(info, x) == "close" && len(x.Args) == 1 {
+						if obj := refObj(info, x.Args[0]); obj != nil {
+							b.closed[obj] = true
+						}
+					}
+				case *ast.AssignStmt:
+					if len(x.Lhs) == len(x.Rhs) {
+						for i := range x.Lhs {
+							if buffered, ok := chanMake(info, x.Rhs[i]); ok {
+								tallyObj(refObj(info, x.Lhs[i]), buffered)
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					if len(x.Names) == len(x.Values) {
+						for i := range x.Names {
+							if buffered, ok := chanMake(info, x.Values[i]); ok {
+								tallyObj(info.Defs[x.Names[i]], buffered)
+							}
+						}
+					}
+				case *ast.KeyValueExpr:
+					if buffered, ok := chanMake(info, x.Value); ok {
+						if id, iok := x.Key.(*ast.Ident); iok {
+							tallyObj(info.Uses[id], buffered)
+						}
+					}
+				}
+				// Type-level tally for every make, bound or not.
+				if x, ok := n.(*ast.CallExpr); ok {
+					if buffered, ok2 := chanMake(info, x); ok2 {
+						if t := info.TypeOf(x); t != nil {
+							tally(b.byType, types.TypeString(t, nil), buffered)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return b
+}
+
+// chanMake reports whether e is make(chan ...) and whether its capacity is
+// a provably nonzero constant or a non-constant expression (assumed
+// nonzero — capacity expressions in this module are pool sizes).
+func chanMake(info *types.Info, e ast.Expr) (buffered, ok bool) {
+	call, cok := ast.Unparen(e).(*ast.CallExpr)
+	if !cok || calleeBuiltin(info, call) != "make" || len(call.Args) == 0 {
+		return false, false
+	}
+	t := info.TypeOf(call)
+	if t == nil {
+		return false, false
+	}
+	if _, isChan := t.Underlying().(*types.Chan); !isChan {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return false, true
+	}
+	if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+		z, _ := constant.Int64Val(constant.ToInt(tv.Value))
+		return z != 0, true
+	}
+	return true, true
+}

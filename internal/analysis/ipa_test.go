@@ -1,0 +1,160 @@
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func loadIPAFixture(t *testing.T) (*Package, *ipaView) {
+	t.Helper()
+	pkg, err := loaderFor(t).LoadDir(fixtureDir("ipa"))
+	if err != nil {
+		t.Fatalf("LoadDir(ipa): %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("ipa fixture has type errors: %v", pkg.TypeErrors)
+	}
+	return pkg, newIPAView(pkg)
+}
+
+// callIn returns the n-th CallExpr (in traversal order) of the named
+// top-level function of the fixture.
+func callIn(t *testing.T, pkg *Package, fn string, n int) *ast.CallExpr {
+	t.Helper()
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != fn {
+				continue
+			}
+			var calls []*ast.CallExpr
+			ast.Inspect(fd.Body, func(node ast.Node) bool {
+				if c, ok := node.(*ast.CallExpr); ok {
+					calls = append(calls, c)
+				}
+				return true
+			})
+			if n >= len(calls) {
+				t.Fatalf("%s has %d calls, want index %d", fn, len(calls), n)
+			}
+			return calls[n]
+		}
+	}
+	t.Fatalf("function %s not found in ipa fixture", fn)
+	return nil
+}
+
+// TestIPAMethodValueBinding covers the f := w.Run; f() pattern: a local
+// bound exactly once resolves to the bound method, a rebound local
+// resolves to nothing.
+func TestIPAMethodValueBinding(t *testing.T) {
+	pkg, view := loadIPAFixture(t)
+	refs := view.resolveCall(pkg, callIn(t, pkg, "boundMethodValue", 0))
+	if len(refs) != 1 || refs[0].fn == nil || refs[0].fn.Name() != "Run" || refs[0].viaIface {
+		t.Fatalf("boundMethodValue f() resolved to %+v, want exactly Worker.Run", refs)
+	}
+	if refs := view.resolveCall(pkg, callIn(t, pkg, "reboundValue", 0)); len(refs) != 0 {
+		t.Fatalf("reboundValue f() resolved to %+v, want nothing (binding dropped after reassignment)", refs)
+	}
+}
+
+// TestIPAInterfaceDispatch covers dispatch through an interface method: the
+// callee set is every module-local implementer, flagged viaIface.
+func TestIPAInterfaceDispatch(t *testing.T) {
+	pkg, view := loadIPAFixture(t)
+	refs := view.resolveCall(pkg, callIn(t, pkg, "dispatch", 0))
+	var got []string
+	for _, r := range refs {
+		if !r.viaIface {
+			t.Errorf("dispatch callee %s not marked viaIface", funcDisplayName(r.fn))
+		}
+		got = append(got, funcDisplayName(r.fn))
+	}
+	sort.Strings(got)
+	if want := "Other.Stop,Worker.Stop"; strings.Join(got, ",") != want {
+		t.Fatalf("dispatch resolved to %v, want %s", got, want)
+	}
+}
+
+// TestIPACrossPackageResolution covers resolution through Deps: the callee
+// body lives in the leaf dependency package.
+func TestIPACrossPackageResolution(t *testing.T) {
+	pkg, view := loadIPAFixture(t)
+	refs := view.resolveCall(pkg, callIn(t, pkg, "crossPackage", 0))
+	if len(refs) != 1 || refs[0].fn == nil || refs[0].fn.Name() != "Tick" {
+		t.Fatalf("crossPackage leaf.Tick() resolved to %+v, want exactly leaf.Tick", refs)
+	}
+	def := view.def(refs[0].fn)
+	if def == nil || def.decl == nil {
+		t.Fatalf("no funcDef for leaf.Tick; cross-package bodies not indexed")
+	}
+	if def.pkg == pkg || !strings.HasSuffix(def.pkg.Path, "/leaf") {
+		t.Fatalf("leaf.Tick's def attributed to package %q, want the leaf dependency", def.pkg.Path)
+	}
+}
+
+// TestIPASummarizerCycleOrderIndependence pins the invalidation contract:
+// summaries computed under an in-progress cycle are provisional and must
+// not be cached, so mutually recursive functions get identical transitive
+// summaries whichever one is demanded first.
+func TestIPASummarizerCycleOrderIndependence(t *testing.T) {
+	pkg, view := loadIPAFixture(t)
+	findDef := func(name string) *funcDef {
+		for _, d := range view.fns {
+			if d.pkg == pkg && d.decl != nil && d.decl.Name.Name == name {
+				return d
+			}
+		}
+		t.Fatalf("no funcDef for %s", name)
+		return nil
+	}
+	// run computes, with a fresh summarizer, the sorted transitive callee
+	// name set of each function, demanding them in the given order.
+	run := func(order ...string) map[string]string {
+		var calls *summarizer[[]string]
+		calls = newSummarizer(func(def *funcDef) []string {
+			set := map[string]bool{}
+			ast.Inspect(def.decl.Body, func(n ast.Node) bool {
+				c, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, ref := range view.resolveCall(def.pkg, c) {
+					if ref.fn == nil {
+						continue
+					}
+					set[ref.fn.Name()] = true
+					if d := view.def(ref.fn); d != nil {
+						for _, name := range calls.of(d) {
+							set[name] = true
+						}
+					}
+				}
+				return true
+			})
+			out := make([]string, 0, len(set))
+			for k := range set {
+				out = append(out, k)
+			}
+			sort.Strings(out)
+			return out
+		})
+		got := map[string]string{}
+		for _, fn := range order {
+			got[fn] = strings.Join(calls.of(findDef(fn)), ",")
+		}
+		return got
+	}
+	a := run("ping", "pong")
+	b := run("pong", "ping")
+	for _, fn := range []string{"ping", "pong"} {
+		if a[fn] != b[fn] {
+			t.Errorf("summary of %s depends on demand order: %q vs %q", fn, a[fn], b[fn])
+		}
+	}
+	if want := "leafA,leafB,ping,pong"; a["ping"] != want {
+		t.Errorf("transitive summary of ping = %q, want %q", a["ping"], want)
+	}
+}

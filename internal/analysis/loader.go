@@ -28,6 +28,15 @@ type Package struct {
 	// TypeErrors holds every error the type checker reported for this
 	// package (not for its dependencies). Analyzers still run.
 	TypeErrors []error
+	// Deps maps the import paths of this package's module-local imports to
+	// their loaded packages. Because ImportFrom routes module-local imports
+	// through the same loader during type checking, every dependency's
+	// syntax trees and type info are already cached when Check returns —
+	// Deps just exposes that link, which is what lets the interprocedural
+	// layer (ipa.go) resolve *types.Func objects to bodies across package
+	// boundaries with consistent pointer identity (one shared fset, one
+	// loader).
+	Deps map[string]*Package
 }
 
 // Loader parses and type-checks packages of one module using only the
@@ -178,6 +187,14 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	pkg.Files = files
 	pkg.Types = tpkg
 	pkg.Info = info
+	pkg.Deps = make(map[string]*Package)
+	if tpkg != nil {
+		for _, imp := range tpkg.Imports() {
+			if dp, ok := l.pkgs[imp.Path()]; ok {
+				pkg.Deps[imp.Path()] = dp
+			}
+		}
+	}
 	l.pkgs[path] = pkg
 	return pkg, nil
 }

@@ -1,0 +1,332 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder builds the interprocedural mutex acquisition graph of a
+// package and its module-local callees and flags two deadlock shapes:
+//
+//   - a call made while holding a mutex into a function that may
+//     (transitively, including through interface dispatch to the known
+//     module-local concrete set) re-acquire the same mutex — the
+//     self-deadlock shape, e.g. a wrapper that holds its own lock across
+//     a call back into another instance of itself;
+//   - a lock-order cycle: mutex A held while acquiring B somewhere, and B
+//     held while acquiring A somewhere else.
+//
+// Mutex identity is the declared object: a struct field ("Server.mu" —
+// every instance conflated, which is conservative), a package-level var,
+// or a local. Element mutexes (writeMu[dst]) conflate to their field.
+// RLock is treated like Lock (a write-lock elsewhere makes reader cycles
+// real). Held-ness is a forward may-analysis over the CFG: deferred
+// unlocks do not release within the body, goroutine bodies start with an
+// empty held set, and calls spawned by `go` are excluded from the
+// caller's held context.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "lock-order cycles and lock-held calls into functions that may re-acquire",
+	Run:  runLockOrder,
+}
+
+const maxAcquireSet = 32
+
+func runLockOrder(pass *Pass) {
+	pkg := pass.Pkg
+	view := newIPAView(pkg)
+	lo := &lockOrderPass{view: view}
+	lo.acquires = newSummarizer(func(def *funcDef) map[types.Object]bool {
+		return lo.collectAcquires(def)
+	})
+
+	// Per-function held analysis over every scope of the pass package.
+	edges := make(map[types.Object]map[types.Object]token.Pos)
+	addEdge := func(held, acquired types.Object, pos token.Pos) {
+		if held == acquired {
+			return
+		}
+		m := edges[held]
+		if m == nil {
+			m = make(map[types.Object]token.Pos)
+			edges[held] = m
+		}
+		if _, ok := m[acquired]; !ok {
+			m[acquired] = pos
+		}
+	}
+	for _, f := range pkg.Files {
+		for _, scope := range funcBodies(f) {
+			lo.checkScope(pass, pkg, scope, addEdge)
+		}
+	}
+
+	// Cycle detection over the package's observed edges.
+	reportLockCycles(pass, edges)
+}
+
+type lockOrderPass struct {
+	view     *ipaView
+	acquires *summarizer[map[types.Object]bool]
+}
+
+// collectAcquires computes the transitive may-acquire set of one function:
+// every mutex it locks directly plus the sets of its module-local callees
+// (direct calls, bound function values, interface dispatch to the known
+// concrete set). Goroutine bodies are excluded — those locks are taken on
+// another stack.
+func (lo *lockOrderPass) collectAcquires(def *funcDef) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	lo.scanAcquires(def.pkg, def.decl.Body, out)
+	return out
+}
+
+func (lo *lockOrderPass) scanAcquires(pkg *Package, body ast.Node, out map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if len(out) >= maxAcquireSet {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			return false // another goroutine's stack
+		case *ast.CallExpr:
+			if mu, kind := mutexOp(pkg.Info, x); kind == muLock {
+				out[mu] = true
+			}
+			for _, c := range lo.view.resolveCall(pkg, x) {
+				if c.lit != nil {
+					continue // literal body is inspected by this walk already
+				}
+				if def := lo.view.def(c.fn); def != nil {
+					for mu := range lo.acquires.of(def) {
+						if len(out) < maxAcquireSet {
+							out[mu] = true
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkScope runs the forward held-set analysis over one function body and
+// reports lock-held re-acquisitions; edges feed the cycle detector.
+func (lo *lockOrderPass) checkScope(pass *Pass, pkg *Package, scope funcScope, addEdge func(h, a types.Object, pos token.Pos)) {
+	// Cheap pre-scan: skip bodies with no mutex operations and no calls
+	// made while one could be held.
+	hasMutex := false
+	ast.Inspect(scope.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, kind := mutexOp(pkg.Info, call); kind != muNone {
+				hasMutex = true
+			}
+		}
+		return !hasMutex
+	})
+	if !hasMutex {
+		return
+	}
+	g := buildCFG(scope.body)
+
+	// Forward may-held dataflow to fixpoint.
+	in := make(map[*cfgBlock]map[types.Object]bool)
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.blocks {
+			held := copySet(in[b])
+			for _, n := range b.nodes {
+				lo.transfer(pkg, n, held, nil, nil, nil)
+			}
+			for _, s := range b.succs {
+				if mergeInto(&in, s, held) {
+					changed = true
+				}
+			}
+		}
+	}
+	// Reporting pass: replay each block with its fixpoint in-set.
+	seen := make(map[token.Pos]bool)
+	for _, b := range g.blocks {
+		held := copySet(in[b])
+		for _, n := range b.nodes {
+			lo.transfer(pkg, n, held, func(call *ast.CallExpr, callee *types.Func, mu types.Object) {
+				if !seen[call.Pos()] {
+					seen[call.Pos()] = true
+					pass.Reportf(call.Pos(), "call to '%s' while holding '%s' may re-acquire it (self-deadlock)",
+						funcDisplayName(callee), refName(mu))
+				}
+			}, addEdge, func(call *ast.CallExpr, mu types.Object) {
+				if !seen[call.Pos()] {
+					seen[call.Pos()] = true
+					pass.Reportf(call.Pos(), "second Lock of '%s' while it may already be held (self-deadlock)", refName(mu))
+				}
+			})
+		}
+	}
+}
+
+// transfer applies one registered node to the held set. When report and
+// addEdge are non-nil, it also emits re-acquire findings and lock-order
+// edges (held -> acquired).
+func (lo *lockOrderPass) transfer(pkg *Package, n ast.Node, held map[types.Object]bool,
+	report func(call *ast.CallExpr, callee *types.Func, mu types.Object),
+	addEdge func(h, a types.Object, pos token.Pos),
+	relock func(call *ast.CallExpr, mu types.Object)) {
+
+	isDefer := false
+	if _, ok := n.(*ast.DeferStmt); ok {
+		isDefer = true
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch x := m.(type) {
+		case *ast.FuncLit:
+			return false // separate scope with its own (empty) held set
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			mu, kind := mutexOp(pkg.Info, x)
+			switch kind {
+			case muLock:
+				if held[mu] && relock != nil {
+					relock(x, mu)
+				}
+				if addEdge != nil {
+					for h := range held {
+						addEdge(h, mu, x.Pos())
+					}
+				}
+				held[mu] = true
+				return true
+			case muUnlock:
+				if !isDefer {
+					delete(held, mu)
+				}
+				return true
+			}
+			for _, c := range lo.view.resolveCall(pkg, x) {
+				def := lo.view.def(c.fn)
+				if def == nil {
+					continue
+				}
+				acq := lo.acquires.of(def)
+				for a := range acq {
+					if held[a] {
+						if report != nil {
+							report(x, c.fn, a)
+						}
+					} else if addEdge != nil {
+						for h := range held {
+							addEdge(h, a, x.Pos())
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func copySet(s map[types.Object]bool) map[types.Object]bool {
+	out := make(map[types.Object]bool, len(s))
+	for k := range s {
+		out[k] = true
+	}
+	return out
+}
+
+// mergeInto unions held into in[b], reporting growth.
+func mergeInto(in *map[*cfgBlock]map[types.Object]bool, b *cfgBlock, held map[types.Object]bool) bool {
+	m := (*in)[b]
+	if m == nil {
+		m = make(map[types.Object]bool)
+		(*in)[b] = m
+	}
+	grew := false
+	for k := range held {
+		if !m[k] {
+			m[k] = true
+			grew = true
+		}
+	}
+	return grew
+}
+
+type muKind int
+
+const (
+	muNone muKind = iota
+	muLock
+	muUnlock
+)
+
+// mutexOp classifies a call as Lock/RLock or Unlock/RUnlock on a
+// sync.Mutex / sync.RWMutex, returning the mutex identity.
+func mutexOp(info *types.Info, call *ast.CallExpr) (types.Object, muKind) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, muNone
+	}
+	var kind muKind
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		kind = muLock
+	case "Unlock", "RUnlock":
+		kind = muUnlock
+	default:
+		return nil, muNone
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, muNone
+	}
+	mu := refObj(info, sel.X)
+	if mu == nil {
+		return nil, muNone
+	}
+	return mu, kind
+}
+
+// reportLockCycles reports every edge that participates in a cycle of the
+// observed lock graph, deterministically ordered.
+func reportLockCycles(pass *Pass, edges map[types.Object]map[types.Object]token.Pos) {
+	reaches := func(from, to types.Object) bool {
+		seen := make(map[types.Object]bool)
+		var dfs func(o types.Object) bool
+		dfs = func(o types.Object) bool {
+			if o == to {
+				return true
+			}
+			if seen[o] {
+				return false
+			}
+			seen[o] = true
+			for next := range edges[o] {
+				if dfs(next) {
+					return true
+				}
+			}
+			return false
+		}
+		return dfs(from)
+	}
+	type cyc struct {
+		a, b types.Object
+		pos  token.Pos
+	}
+	var found []cyc
+	for a, m := range edges {
+		for b, pos := range m {
+			if reaches(b, a) {
+				found = append(found, cyc{a, b, pos})
+			}
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+	for _, c := range found {
+		pass.Reportf(c.pos, "acquiring '%s' while holding '%s' completes a lock-order cycle", refName(c.b), refName(c.a))
+	}
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import "testing"
+
+// TestConcurrencyMessageFormats pins the exact diagnostic text of the four
+// interprocedural analyzers on representative fixture findings. The golden
+// line sets in analyzers_test.go check placement; this test checks wording,
+// which scripts and editors match against.
+func TestConcurrencyMessageFormats(t *testing.T) {
+	tests := []struct {
+		dir      string
+		analyzer *Analyzer
+		line     int
+		want     string
+	}{
+		{
+			dir: fixtureDir("goleak"), analyzer: GoLeak, line: 15,
+			want: "goroutine may never exit: receive on 'unclosed' in leakyRecv (no close/ctx/timeout escape on some path)",
+		},
+		{
+			dir: fixtureDir("goleak"), analyzer: GoLeak, line: 29,
+			want: "goroutine may never exit: select with no escape case in leakySelect (no close/ctx/timeout escape on some path)",
+		},
+		{
+			dir: fixtureDir("goleak"), analyzer: GoLeak, line: 44,
+			want: "goroutine may never exit: receive on 'ch' in pump (no close/ctx/timeout escape on some path)",
+		},
+		{
+			dir: fixtureDir("chanlife"), analyzer: ChanLife, line: 13,
+			want: "send on 'ch' may follow a close of it on some path",
+		},
+		{
+			dir: fixtureDir("chanlife"), analyzer: ChanLife, line: 27,
+			want: "channel 'ch' may be closed twice (the close is reachable from itself around a loop)",
+		},
+		{
+			dir: fixtureDir("chanlife"), analyzer: ChanLife, line: 57,
+			want: "send on 'box.tokens' without holding 'mu' on some path (//soilint:chan token contract)",
+		},
+		{
+			dir: fixtureDir("chanlife"), analyzer: ChanLife, line: 74,
+			want: "channel 'box.done' is closed outside its owner(s) closeDone (//soilint:chan owner contract)",
+		},
+		{
+			dir: fixtureDir("lockorder"), analyzer: LockOrder, line: 15,
+			want: "acquiring 'muB' while holding 'muA' completes a lock-order cycle",
+		},
+		{
+			dir: fixtureDir("lockorder"), analyzer: LockOrder, line: 43,
+			want: "call to 'guarded.bump' while holding 'guarded.mu' may re-acquire it (self-deadlock)",
+		},
+		{
+			dir: fixtureDir("lockorder"), analyzer: LockOrder, line: 50,
+			want: "second Lock of 'guarded.mu' while it may already be held (self-deadlock)",
+		},
+		{
+			dir: fixtureDir("lockorder"), analyzer: LockOrder, line: 84,
+			want: "call to 'wrapper.Close' while holding 'wrapper.mu' may re-acquire it (self-deadlock)",
+		},
+		{
+			dir: fixtureDir("deadlineflow", "internal", "serve"), analyzer: DeadlineFlow, line: 25,
+			want: "blocking read call to wire.ReadHeader with no read deadline on every path (entry Serve)",
+		},
+		{
+			dir: fixtureDir("deadlineflow", "internal", "serve"), analyzer: DeadlineFlow, line: 34,
+			want: "blocking write call to wire.WriteVector with no write deadline on every path (entry Serve)",
+		},
+		{
+			dir: fixtureDir("deadlineflow", "internal", "serve"), analyzer: DeadlineFlow, line: 70,
+			want: "blocking read call to mpi.Recv with no read deadline on every path (entry MpiPull)",
+		},
+	}
+	diags := map[string][]Diagnostic{}
+	for _, tt := range tests {
+		if _, ok := diags[tt.dir]; !ok {
+			pkg, err := loaderFor(t).LoadDir(tt.dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", tt.dir, err)
+			}
+			active, _, _ := Run(pkg, All)
+			diags[tt.dir] = active
+		}
+		found := false
+		for _, d := range diags[tt.dir] {
+			if d.Check == tt.analyzer.Name && d.Line == tt.line {
+				found = true
+				if d.Message != tt.want {
+					t.Errorf("%s:%d message =\n  %q\nwant\n  %q", tt.dir, tt.line, d.Message, tt.want)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("no %s finding at %s:%d", tt.analyzer.Name, tt.dir, tt.line)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Fixture for the chanlife analyzer: close/send lifecycle violations and
+// the //soilint:chan owner / token contracts.
+package chanlife
+
+import "sync"
+
+// sendAfterClose: the send is reachable after the close.
+func sendAfterClose(cond bool) {
+	ch := make(chan int)
+	if cond {
+		close(ch)
+	}
+	ch <- 1 // finding: send may follow the close
+}
+
+// doubleClose closes twice on one path.
+func doubleClose() {
+	ch := make(chan int8)
+	close(ch)
+	close(ch) // finding: second close
+}
+
+// loopClose: the close reaches itself around the loop back edge.
+func loopClose(n int) {
+	ch := make(chan int16)
+	for i := 0; i < n; i++ {
+		close(ch) // finding: close inside a loop
+	}
+}
+
+// cleanCloseOnce closes exactly once, after the last send.
+func cleanCloseOnce(ch chan int32) {
+	ch <- 1
+	close(ch)
+}
+
+// box carries both contract kinds.
+type box struct {
+	mu sync.Mutex
+	// tokens is the scheduler-token shape: touched only under mu.
+	//soilint:chan token mu
+	tokens chan struct{}
+	// done is closed exactly once, by the declared owner.
+	//soilint:chan owner closeDone
+	done chan struct{}
+}
+
+// tokenHeld sends under mu on every path: clean.
+func (b *box) tokenHeld() {
+	b.mu.Lock()
+	b.tokens <- struct{}{}
+	b.mu.Unlock()
+}
+
+// tokenUnheld sends without ever taking mu.
+func (b *box) tokenUnheld() {
+	b.tokens <- struct{}{} // finding: token contract violated
+}
+
+// tokenDropped unlocks before the send, killing the guarded path.
+func (b *box) tokenDropped() {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.tokens <- struct{}{} // finding: token released before the send
+}
+
+// closeDone is the declared owner of done.
+func (b *box) closeDone() {
+	close(b.done)
+}
+
+// rogueClose closes done outside its owner.
+func (b *box) rogueClose() {
+	close(b.done) // finding: owner contract violated
+}
+
+// The role below is not owner or token: malformed directive finding.
+//
+//soilint:chan guardian mu
+var misdeclared chan int
+
+// The directive below binds to nothing chan-typed: unused directive finding.
+//
+//soilint:chan owner nobody
+var notAChan int
+
+// badBox names a token mutex that does not exist next to the field.
+type badBox struct {
+	//soilint:chan token missing
+	ch chan int
+}
+
+func (b *badBox) poke() {
+	b.ch <- 1
+}
+
+// suppressedDoubleClose pins the justified-suppression shape.
+func suppressedDoubleClose() {
+	ch := make(chan int64)
+	close(ch)
+	//soilint:ignore chanlife fixture: pinned suppressed shape
+	close(ch)
+}

@@ -1,0 +1,24 @@
+// Package mpi is a fixture-local stand-in: its import path ends in
+// internal/mpi, so deadlineflow treats the collective names below as the
+// real unbounded transport operations.
+package mpi
+
+// Comm is the minimal communicator surface the fixture needs.
+type Comm interface {
+	Rank() int
+	Size() int
+}
+
+// Recv blocks until a message with the given tag arrives.
+func Recv(c Comm, src, tag int) ([]complex128, int, error) { return nil, 0, nil }
+
+// SendRecv blocks until the paired exchange completes.
+func SendRecv(c Comm, to int, msg []complex128, from, tag int) ([]complex128, error) {
+	return nil, nil
+}
+
+// AllToAll blocks until every rank has contributed.
+func AllToAll(c Comm, send [][]complex128) ([][]complex128, error) { return nil, nil }
+
+// RecvTimeout is the bounded variant; deadlineflow does not flag it.
+func RecvTimeout(c Comm, src, tag int) ([]complex128, int, error) { return nil, 0, nil }

@@ -1,0 +1,104 @@
+// Package serve is the audited fixture for deadlineflow: its import path
+// ends in internal/serve, so its exported functions are entry points and
+// the wire/mpi stand-ins below count as blocking calls.
+package serve
+
+import (
+	"io"
+	"time"
+
+	"soifft/internal/analysis/testdata/src/deadlineflow/internal/mpi"
+	"soifft/internal/analysis/testdata/src/deadlineflow/internal/wire"
+)
+
+// conn mimics the deadline surface (and Read) of net.Conn.
+type conn struct{}
+
+func (conn) SetDeadline(t time.Time) error      { return nil }
+func (conn) SetReadDeadline(t time.Time) error  { return nil }
+func (conn) SetWriteDeadline(t time.Time) error { return nil }
+func (conn) Read(p []byte) (int, error)         { return 0, nil }
+
+// Serve reads a header with no deadline on any path, then hands off to an
+// unexported helper that is audited because Serve reaches it.
+func Serve(c conn, r any) error {
+	_, err := wire.ReadHeader(r) // finding: bare read in the entry itself
+	if err != nil {
+		return err
+	}
+	return relay(c, r)
+}
+
+// relay writes with no write deadline; reached only from Serve.
+func relay(c conn, w any) error {
+	return wire.WriteVector(w, nil) // finding: bare write, entry Serve
+}
+
+// CleanRead arms a read deadline on every path before the payload read.
+func CleanRead(c conn, r any) error {
+	err := c.SetReadDeadline(time.Now().Add(time.Second))
+	if err != nil {
+		return err
+	}
+	return wire.ReadVector(r, nil)
+}
+
+// BranchRead arms the deadline on only one branch.
+func BranchRead(c conn, r any, fast bool) error {
+	if fast {
+		_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	}
+	return wire.ReadVector(r, nil) // finding: unarmed on the !fast path
+}
+
+// WrongKind arms a read deadline before a blocking write: not sufficient.
+func WrongKind(c conn, w any) error {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	h := wire.Header{}
+	return wire.WriteHeader(w, &h) // finding: a write needs a write deadline
+}
+
+// CleanBoth uses the combined SetDeadline, which covers either direction.
+func CleanBoth(c conn, w any) error {
+	_ = c.SetDeadline(time.Now().Add(time.Second))
+	h := wire.Header{}
+	return wire.WriteHeader(w, &h)
+}
+
+// MpiPull blocks on an unbounded collective.
+func MpiPull(c mpi.Comm) error {
+	_, _, err := mpi.Recv(c, 0, 1) // finding: unbounded transport op
+	return err
+}
+
+// CleanMpiPull uses the bounded variant, which is not flagged.
+func CleanMpiPull(c mpi.Comm) error {
+	_, _, err := mpi.RecvTimeout(c, 0, 1)
+	return err
+}
+
+// Spawn reaches a blocking read through a goroutine body.
+func Spawn(c conn, r any) {
+	go func() {
+		_, _ = wire.ReadText(r, 16) // finding: bare read in the goroutine
+	}()
+}
+
+// CleanFill bounds the stdlib blocking read.
+func CleanFill(c conn, buf []byte) error {
+	_ = c.SetReadDeadline(time.Now().Add(time.Second))
+	_, err := io.ReadFull(c, buf)
+	return err
+}
+
+// unreached is never called from any entry point, so it is not audited.
+func unreached(r any) {
+	_, _ = wire.ReadHeader(r)
+}
+
+// Suppressed pins the justified-suppression shape.
+func Suppressed(r any) error {
+	//soilint:ignore deadlineflow fixture: the demultiplexer parks between frames by design
+	_, err := wire.ReadHeader(r)
+	return err
+}

@@ -1,0 +1,25 @@
+// Package wire is a fixture-local stand-in: its import path ends in
+// internal/wire, so deadlineflow treats these as the real blocking codec
+// primitives.
+package wire
+
+// Header mirrors the real frame header shape.
+type Header struct{ PayloadLen uint64 }
+
+// ReadHeader blocks until a frame header arrives.
+func ReadHeader(r any) (Header, error) { return Header{}, nil }
+
+// ReadVector blocks until the payload is read.
+func ReadVector(r any, dst []complex128) error { return nil }
+
+// ReadText blocks until n bytes of text are read.
+func ReadText(r any, n uint64) (string, error) { return "", nil }
+
+// DiscardPayload blocks until n payload bytes are consumed.
+func DiscardPayload(r any, n uint64) error { return nil }
+
+// WriteHeader blocks while the peer's window is closed.
+func WriteHeader(w any, h *Header) error { return nil }
+
+// WriteVector blocks while the peer's window is closed.
+func WriteVector(w any, src []complex128) error { return nil }

@@ -1,0 +1,119 @@
+// Fixture for the goleak analyzer: goroutines with and without a bounded
+// exit. Each leaky case uses a distinct channel element type so the
+// type-level make fallback cannot bless one case with another's make.
+package goleak
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// leakyRecv parks forever: no function in the module closes unclosed.
+func leakyRecv() {
+	unclosed := make(chan int)
+	go func() { // line 15: true positive (receive, no close anywhere)
+		<-unclosed
+	}()
+}
+
+// leakyWait: WaitGroup.Wait is never bounded (the counter is invisible).
+func leakyWait(wg *sync.WaitGroup) {
+	go func() { // line 22: true positive (WaitGroup.Wait)
+		wg.Wait()
+	}()
+}
+
+// leakySelect: neither arm can become ready without a peer goroutine.
+func leakySelect(a chan int8, b chan int16) {
+	go func() { // line 29: true positive (select with no escape case)
+		select {
+		case <-a:
+		case b <- 1:
+		}
+	}()
+}
+
+// pump blocks receiving from a never-closed channel; the leak is charged to
+// the go statement that spawns it, through pump's summary.
+func pump(ch chan float64) {
+	<-ch
+}
+
+func leakyNamed(ch chan float64) {
+	go pump(ch) // line 43: true positive (receive inside the named callee)
+}
+
+// leakyBound spawns through a single-assignment function value.
+func leakyBound(ch chan int32) {
+	f := func() { <-ch }
+	go f() // line 49: true positive (receive through the bound literal)
+}
+
+// stopDrained is the module-wide close that blesses drained.
+var drained = make(chan uint8)
+
+func stopDrained() { close(drained) }
+
+// cleanClosed ranges over a close-blessed channel.
+func cleanClosed() {
+	go func() {
+		for range drained {
+		}
+	}()
+}
+
+// cleanBuffered sends on a channel whose every make is buffered.
+func cleanBuffered() {
+	results := make(chan uint16, 4)
+	go func() {
+		results <- 1
+	}()
+	<-results
+}
+
+// cleanCtx escapes through the ctx.Done arm.
+func cleanCtx(ctx context.Context, work chan uint32) {
+	go func() {
+		select {
+		case <-work:
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// cleanTimeout escapes through the timer arm.
+func cleanTimeout(work chan uint64) {
+	go func() {
+		select {
+		case <-work:
+		case <-time.After(time.Second):
+		}
+	}()
+}
+
+// cleanDefault never parks at all.
+func cleanDefault(work chan string) {
+	go func() {
+		select {
+		case <-work:
+		default:
+		}
+	}()
+}
+
+// runner is dispatched through an interface: assumed bounded (blocking
+// behind interfaces is deadlineflow's domain).
+type runner interface{ Run() }
+
+func cleanIface(r runner) {
+	go r.Run()
+}
+
+// suppressedWait pins the justified-suppression shape.
+func suppressedWait(wg *sync.WaitGroup) {
+	//soilint:ignore goleak fixture: the counter is bounded by construction
+	go func() {
+		wg.Wait()
+	}()
+}

@@ -1,0 +1,62 @@
+// Fixture for the interprocedural layer (ipa.go): method-value bindings,
+// interface dispatch, cross-package resolution, and the mutual recursion
+// used by the summarizer order-independence test.
+package ipa
+
+import leaf "soifft/internal/analysis/testdata/src/ipa/leaf"
+
+type Worker struct{ n int }
+
+func (w *Worker) Run()  { w.n++ }
+func (w *Worker) Stop() { w.n = 0 }
+
+type Stopper interface{ Stop() }
+
+type Other struct{ m int }
+
+func (o *Other) Stop() { o.m = 0 }
+
+// boundMethodValue binds the method value exactly once; f() must resolve
+// to Worker.Run.
+func boundMethodValue(w *Worker) {
+	f := w.Run
+	f()
+}
+
+// reboundValue assigns f twice; the binding must be dropped and f() must
+// resolve to nothing.
+func reboundValue(w *Worker) {
+	f := w.Run
+	f = w.Stop
+	f()
+}
+
+// dispatch calls through the interface; the concrete set is every module
+// named type implementing Stopper.
+func dispatch(s Stopper) {
+	s.Stop()
+}
+
+// crossPackage calls into the dependency package.
+func crossPackage() {
+	leaf.Tick()
+}
+
+// ping/pong are mutually recursive: the summarizer must produce the same
+// fixpoint whichever one is demanded first.
+func ping(n int) {
+	if n > 0 {
+		pong(n - 1)
+	}
+	leafA()
+}
+
+func pong(n int) {
+	if n > 0 {
+		ping(n - 1)
+	}
+	leafB()
+}
+
+func leafA() {}
+func leafB() {}

@@ -1,0 +1,6 @@
+// Package leaf is a dependency of the ipa fixture: resolveCall must find
+// Tick's body across the package boundary through Deps.
+package leaf
+
+// Tick does nothing; only its identity matters.
+func Tick() {}

@@ -1,0 +1,93 @@
+// Fixture for the lockorder analyzer: self-deadlocks through transitive
+// may-acquire summaries and lock-order cycles between package mutexes.
+package lockorder
+
+import "sync"
+
+var (
+	muA sync.Mutex
+	muB sync.Mutex
+)
+
+// abOrder locks A then B; with baOrder below this completes an A/B cycle.
+func abOrder() {
+	muA.Lock()
+	muB.Lock() // finding: cycle edge A->B
+	muB.Unlock()
+	muA.Unlock()
+}
+
+// baOrder locks B then A.
+func baOrder() {
+	muB.Lock()
+	muA.Lock() // finding: cycle edge B->A
+	muA.Unlock()
+	muB.Unlock()
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// bump takes g.mu; callers holding it self-deadlock.
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// reacquire calls bump while holding the same mutex.
+func (g *guarded) reacquire() {
+	g.mu.Lock()
+	g.bump() // finding: callee may re-acquire g.mu
+	g.mu.Unlock()
+}
+
+// doubleLock locks the held mutex directly.
+func (g *guarded) doubleLock() {
+	g.mu.Lock()
+	g.mu.Lock() // finding: second Lock while held
+	g.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// released unlocks before the call: clean.
+func (g *guarded) released() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	g.bump()
+}
+
+// spawned hands the work to a goroutine, which starts with an empty held
+// set: clean.
+func (g *guarded) spawned() {
+	g.mu.Lock()
+	go g.bump()
+	g.mu.Unlock()
+}
+
+// closer is the faultcomm Endpoint shape: a wrapper holding its own mutex
+// across a dispatched call whose concrete set includes the wrapper itself.
+type closer interface{ Close() error }
+
+type wrapper struct {
+	mu    sync.Mutex
+	inner closer
+}
+
+// Close may dispatch back into itself through inner.
+func (w *wrapper) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.inner.Close() // finding: dispatched callee may re-acquire w.mu
+}
+
+// suppressedReacquire pins the justified-suppression shape.
+func (g *guarded) suppressedReacquire() {
+	g.mu.Lock()
+	//soilint:ignore lockorder fixture: pinned suppressed shape
+	g.bump()
+	g.mu.Unlock()
+}

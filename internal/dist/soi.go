@@ -179,6 +179,7 @@ func (d *SOI) exchangeGhost(src []complex128) ([]complex128, error) {
 		l := min(remaining, d.localN)
 		to := ((r-j)%world + world) % world // predecessor needing my prefix
 		from := (r + j) % world             // successor providing my suffix
+		//soilint:ignore deadlineflow bounded by the transport op-timeout (World.SetOpTimeout / TCPOptions.OpTimeout)
 		got, err := mpi.SendRecv(d.comm, to, src[:l], from, tagGhost+j)
 		if err != nil {
 			return nil, err
@@ -217,6 +218,7 @@ func (d *SOI) exchangeAndFinish(dst, u []complex128) error {
 			}
 			send[q] = blk
 		}
+		//soilint:ignore deadlineflow bounded by the transport op-timeout (World.SetOpTimeout / TCPOptions.OpTimeout)
 		recv, err := mpi.AllToAll(d.comm, send)
 		results <- arrived{g: g, blocks: recv, err: err}
 	}

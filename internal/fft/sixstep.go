@@ -480,6 +480,7 @@ func (s *SixStep) columnPassPipelined(w, src []complex128, ntiles int) {
 	}
 	close(next)
 	for l := 0; l < loaders; l++ {
+		//soilint:ignore goleak bounded: next is closed and pre-filled, and every buffer taken from free is returned to it by the compute team, which keeps draining ready while any loader runs
 		go func() {
 			defer loadWG.Done()
 			for t := range next {
@@ -489,6 +490,7 @@ func (s *SixStep) columnPassPipelined(w, src []complex128, ntiles int) {
 			}
 		}()
 	}
+	//soilint:ignore goleak loadWG.Wait is bounded: each loader exits after draining the closed next channel
 	go func() {
 		loadWG.Wait()
 		close(ready)

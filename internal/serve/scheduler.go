@@ -58,14 +58,18 @@ type scheduler struct {
 	maxInFlight int // admitted transforms (sum of request counts)
 	maxBatch    int // transforms per executed batch
 
-	mu       sync.Mutex
-	queues   map[batchKey]*queue
+	mu     sync.Mutex
+	queues map[batchKey]*queue
+	// Tokens enter and leave ready only under mu (capacity invariant below):
+	//soilint:chan token mu
 	ready    chan *queue
 	inFlight int
 	draining bool
 	stopped  bool
-	idle     chan struct{} // closed when draining and inFlight reaches 0
-	wg       sync.WaitGroup
+	// idle is closed when draining and inFlight reaches 0:
+	//soilint:chan token mu
+	idle chan struct{}
+	wg   sync.WaitGroup
 }
 
 func newScheduler(workers, maxInFlight, maxBatch int, execute func([]*request, int)) *scheduler {

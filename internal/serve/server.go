@@ -56,6 +56,12 @@ type Config struct {
 	MaxN int
 	// MaxCount bounds transforms per batch frame. Default 4096.
 	MaxCount int
+	// IOTimeout bounds each response-frame write and each in-frame payload
+	// read: a peer that stops reading (TCP backpressure wedges the writer)
+	// or stalls mid-payload is disconnected instead of wedging the
+	// connection's goroutines. Between frames a connection may idle
+	// indefinitely. Default one minute.
+	IOTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +88,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCount == 0 {
 		c.MaxCount = 4096
+	}
+	if c.IOTimeout == 0 {
+		c.IOTimeout = time.Minute
 	}
 	return c
 }
@@ -164,6 +173,7 @@ func (s *Server) Serve(ln net.Listener) error {
 		s.connWG.Add(1)
 		s.mu.Unlock()
 		s.stats.connsTotal.Add(1)
+		//soilint:ignore goleak handle's pending.Wait is bounded: the scheduler calls done exactly once per admitted request, and the writer drains out until handle closes it
 		go cn.handle()
 	}
 }
@@ -189,6 +199,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	done := make(chan struct{})
+	//soilint:ignore goleak connWG.Wait is bounded: readers observe the poke above and exit, and the ctx-expiry force-close below fails any straggler's read
 	go func() {
 		s.connWG.Wait()
 		close(done)
@@ -394,11 +405,29 @@ type outFrame struct {
 // admits requests, and a writer goroutine that serializes completions,
 // flushing once per burst.
 type conn struct {
-	srv     *Server
-	c       net.Conn
-	br      *bufio.Reader
+	srv *Server
+	c   net.Conn
+	br  *bufio.Reader
+	// out is closed by the reader alone, after pending.Wait guarantees no
+	// more completions; the writer's range then terminates.
+	//soilint:chan owner handle
 	out     chan outFrame
 	pending sync.WaitGroup // admitted requests not yet handed to the writer
+}
+
+// SetReadDeadline arms the connection's read deadline, preserving
+// Shutdown's drain poke: once the server is draining the deadline pins to
+// "now" regardless of what the reader re-arms — otherwise a payload-read
+// re-arm racing Shutdown could erase the poke and park the connection past
+// the drain.
+func (cn *conn) SetReadDeadline(t time.Time) {
+	s := cn.srv
+	s.mu.Lock()
+	if s.draining {
+		t = time.Now()
+	}
+	cn.c.SetReadDeadline(t)
+	s.mu.Unlock()
 }
 
 func (cn *conn) handle() {
@@ -414,7 +443,7 @@ func (cn *conn) handle() {
 
 	cn.br = bufio.NewReaderSize(cn.c, 64<<10)
 	for {
-		h, err := wire.ReadHeader(cn.br)
+		h, err := wire.ReadHeader(cn.br) //soilint:ignore deadlineflow the reader parks between frames by design; Shutdown's SetReadDeadline poke unblocks it
 		if err != nil {
 			// Clean close, peer error, or the drain poke — either way the
 			// reader stops; drain semantics only require completing what
@@ -424,6 +453,9 @@ func (cn *conn) handle() {
 		if !cn.dispatch(&h) {
 			break
 		}
+		// The frame is fully consumed: back to the unbounded idle park
+		// (pinned to "now" instead if a drain began mid-frame).
+		cn.SetReadDeadline(time.Time{})
 	}
 	// Let every admitted request reach the writer, then let the writer
 	// drain and flush before the connection closes.
@@ -469,6 +501,9 @@ func (cn *conn) admit(h *wire.Header) bool {
 	alg, algErr := s.resolveAlg(h.Alg, n)
 
 	s.stats.accepted.Add(int64(count))
+	// The header promises PayloadLen bytes: bound the payload read so a
+	// client that stalls mid-frame cannot hold the reader goroutine.
+	cn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 	src := s.bufs.get(n * count)
 	if err := wire.ReadVector(cn.br, src); err != nil {
 		s.bufs.put(src)
@@ -515,6 +550,7 @@ func (cn *conn) admit(h *wire.Header) bool {
 // not been consumed yet, discarding the payload to keep the stream in sync.
 func (cn *conn) rejectUnread(h *wire.Header, err error) bool {
 	cn.srv.stats.badRequest.Add(1)
+	cn.SetReadDeadline(time.Now().Add(cn.srv.cfg.IOTimeout))
 	if derr := wire.DiscardPayload(cn.br, h.PayloadLen); derr != nil {
 		return false
 	}
@@ -546,14 +582,19 @@ func (cn *conn) writeLoop() {
 	for f := range cn.out {
 		if !dead {
 			timer := cn.srv.breakdown.Timer(trace.PhaseSerialize)
-			var err error
-			switch {
-			case f.stats != "":
-				err = wire.WriteStatsResult(bw, f.reqID, f.stats)
-			case f.err != nil:
-				err = wire.WriteError(bw, f.reqID, f.err)
-			default:
-				err = wire.WriteResult(bw, f.reqID, f.count, f.data)
+			// Bound the write: a peer that stops reading backpressures the
+			// TCP window shut, which would otherwise wedge this goroutine
+			// (and, through the full out channel, the executors).
+			err := cn.c.SetWriteDeadline(time.Now().Add(cn.srv.cfg.IOTimeout))
+			if err == nil {
+				switch {
+				case f.stats != "":
+					err = wire.WriteStatsResult(bw, f.reqID, f.stats)
+				case f.err != nil:
+					err = wire.WriteError(bw, f.reqID, f.err)
+				default:
+					err = wire.WriteResult(bw, f.reqID, f.count, f.data)
+				}
 			}
 			if err == nil && len(cn.out) == 0 {
 				err = bw.Flush()
@@ -569,7 +610,12 @@ func (cn *conn) writeLoop() {
 			cn.srv.bufs.put(f.data)
 		}
 	}
-	if !dead {
-		bw.Flush()
+	if dead {
+		return
 	}
+	err := cn.c.SetWriteDeadline(time.Now().Add(cn.srv.cfg.IOTimeout))
+	if err != nil {
+		return
+	}
+	bw.Flush()
 }

@@ -35,6 +35,13 @@ run_gate() {
 run_gate "go build ./..." go build ./...
 run_gate "go vet ./..." go vet ./...
 run_gate "soilint ./..." go run ./cmd/soilint ./...
+
+# The four concurrency-lifecycle analyzers also gate individually: a
+# regression then names the failing check in the gate summary instead of
+# hiding inside the combined run (the loader cache makes the repeats cheap).
+for check in goleak chanlife deadlineflow lockorder; do
+    run_gate "soilint -checks $check" go run ./cmd/soilint -checks "$check" ./...
+done
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
 run_gate "bcebudget (bounds-check gate)" go run ./cmd/bcebudget
 run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist ./internal/serve ./internal/wire ./client
