@@ -53,6 +53,8 @@ var hotPackages = []string{
 	"./internal/window",
 	"./internal/serve",
 	"./internal/wire",
+	"./client",
+	"./cmd/soifftd",
 }
 
 // bceFlag is the SSA debug flag that reports every surviving bounds check.

@@ -68,9 +68,10 @@ func TestGateAgainstTree(t *testing.T) {
 
 // TestWidenedCoverage pins the audited package set: the serving layer's
 // per-frame path (wire codec loops, scheduler batch assembly) is budgeted
-// alongside the compute kernels.
+// alongside the compute kernels, and so are the client library and the
+// soifftd daemon — both ends of the wire.
 func TestWidenedCoverage(t *testing.T) {
-	want := []string{"fft", "conv", "cvec", "window", "serve", "wire"}
+	want := []string{"fft", "conv", "cvec", "window", "serve", "wire", "client", "soifftd"}
 	if len(hotPackages) != len(want) {
 		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
 	}

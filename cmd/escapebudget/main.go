@@ -39,7 +39,9 @@ import (
 // paths (where PR 1 removed hot-loop allocations), the single-node and
 // distributed pipeline drivers that orchestrate them per transform, and the
 // serving layer's per-frame path (codec + scheduler), whose allocations
-// recur per request rather than per plan.
+// recur per request rather than per plan, plus both ends of the wire: the
+// client library's per-request encode/demux path and the daemon binary's
+// connection loop.
 var hotPackages = []string{
 	"./internal/fft",
 	"./internal/conv",
@@ -49,6 +51,8 @@ var hotPackages = []string{
 	"./internal/dist",
 	"./internal/serve",
 	"./internal/wire",
+	"./client",
+	"./cmd/soifftd",
 }
 
 // isEscape keeps the escape-analysis verdicts out of the -m -m chatter

@@ -66,9 +66,11 @@ func TestGateAgainstTree(t *testing.T) {
 // joined the kernel packages once their per-transform allocations were
 // pooled, and the serving layer (frame codec + scheduler) joined once its
 // per-request path was pooled too, so a new escape in internal/serve or
-// internal/wire fails the gate like one in internal/fft does.
+// internal/wire fails the gate like one in internal/fft does. The client
+// library and the soifftd daemon close the loop: every package that
+// touches a frame is budgeted.
 func TestWidenedCoverage(t *testing.T) {
-	want := []string{"fft", "conv", "cvec", "window", "soi", "dist", "serve", "wire"}
+	want := []string{"fft", "conv", "cvec", "window", "soi", "dist", "serve", "wire", "client", "soifftd"}
 	if len(hotPackages) != len(want) {
 		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
 	}

@@ -5,13 +5,16 @@
 //
 // Usage:
 //
-//	soilint [-json] [-sarif] [-stats] [-checks hotalloc,errdrop,...] [-v] [packages]
+//	soilint [-json] [-sarif] [-stats] [-timing] [-checks hotalloc,errdrop,...] [-v] [packages]
 //
 // Packages default to ./... relative to the enclosing module root. Exit
 // status: 0 clean, 1 findings, 2 usage or load failure. -sarif emits SARIF
 // 2.1.0 (for CI code-scanning upload) instead of the plain listing; -stats
-// emits per-check active/suppressed counts as JSON (the CI lint-trend
-// artifact); like -json both still exit 1 on findings. Findings are
+// emits per-check active/suppressed counts plus per-check wall time as JSON
+// (the CI lint-trend artifact); like -json both still exit 1 on findings.
+// -timing prints a per-analyzer wall-time table to stderr and warns when
+// any analyzer exceeds -timing-budget (default 30s) summed over all
+// packages — a soft budget: the exit status is unaffected. Findings are
 // suppressed line-by-line
 // with a justified "//soilint:ignore <check>" comment on the offending line
 // or the line above, or file-wide with "//soilint:file-ignore <check> --
@@ -27,7 +30,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"time"
 
 	"soifft/internal/analysis"
 )
@@ -39,11 +44,13 @@ func main() {
 func run() int {
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
 	sarifOut := flag.Bool("sarif", false, "emit findings as SARIF 2.1.0")
-	statsOut := flag.Bool("stats", false, "emit per-check active/suppressed counts as JSON")
+	statsOut := flag.Bool("stats", false, "emit per-check active/suppressed counts and wall time as JSON")
 	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
 	verbose := flag.Bool("v", false, "also list suppressed findings, analyzer notes and type-check warnings")
+	timing := flag.Bool("timing", false, "print a per-analyzer wall-time table to stderr")
+	timingBudget := flag.Duration("timing-budget", 30*time.Second, "warn (without failing) when one analyzer exceeds this much total wall time")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-sarif] [-stats] [-checks list] [-v] [packages]\navailable checks:\n")
+		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-sarif] [-stats] [-timing] [-checks list] [-v] [packages]\navailable checks:\n")
 		for _, a := range analysis.All {
 			fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -76,13 +83,14 @@ func run() int {
 	}
 
 	active, suppressed, notes := []analysis.Diagnostic{}, []analysis.Diagnostic{}, []analysis.Diagnostic{}
+	elapsed := make(map[string]time.Duration, len(analyzers))
 	for _, pkg := range pkgs {
 		if *verbose {
 			for _, te := range pkg.TypeErrors {
 				fmt.Fprintf(os.Stderr, "soilint: typecheck %s: %v\n", pkg.Path, te)
 			}
 		}
-		a, s, n := analysis.Run(pkg, analyzers)
+		a, s, n := analysis.RunTimed(pkg, analyzers, elapsed)
 		active = append(active, a...)
 		suppressed = append(suppressed, s...)
 		notes = append(notes, n...)
@@ -91,9 +99,18 @@ func run() int {
 	relativize(root, suppressed)
 	relativize(root, notes)
 
+	if *timing {
+		writeTimingTable(os.Stderr, analyzers, elapsed)
+	}
+	for _, a := range analyzers {
+		if d := elapsed[a.Name]; d > *timingBudget {
+			fmt.Fprintf(os.Stderr, "soilint: warning: %s took %v across all packages, over the %v budget\n", a.Name, d.Round(time.Millisecond), *timingBudget)
+		}
+	}
+
 	switch {
 	case *statsOut:
-		if err := writeStats(os.Stdout, analyzers, active, suppressed); err != nil {
+		if err := writeStats(os.Stdout, analyzers, active, suppressed, elapsed); err != nil {
 			fmt.Fprintln(os.Stderr, "soilint:", err)
 			return 2
 		}
@@ -135,19 +152,22 @@ func run() int {
 	return 0
 }
 
-// checkStats is one row of the -stats output.
+// checkStats is one row of the -stats output. WallMS is the analyzer's
+// total execution time across every analyzed package, in milliseconds, so
+// successive CI artifacts trend analyzer cost alongside finding counts.
 type checkStats struct {
-	Active     int `json:"active"`
-	Suppressed int `json:"suppressed"`
+	Active     int   `json:"active"`
+	Suppressed int   `json:"suppressed"`
+	WallMS     int64 `json:"wall_ms"`
 }
 
-// writeStats emits per-check finding counts as JSON. Every selected check
-// gets a row, zeros included, so successive CI trend artifacts diff cleanly
-// even when a check goes quiet.
-func writeStats(w io.Writer, analyzers []*analysis.Analyzer, active, suppressed []analysis.Diagnostic) error {
+// writeStats emits per-check finding counts and wall time as JSON. Every
+// selected check gets a row, zeros included, so successive CI trend
+// artifacts diff cleanly even when a check goes quiet.
+func writeStats(w io.Writer, analyzers []*analysis.Analyzer, active, suppressed []analysis.Diagnostic, elapsed map[string]time.Duration) error {
 	checks := make(map[string]*checkStats, len(analyzers))
 	for _, a := range analyzers {
-		checks[a.Name] = &checkStats{}
+		checks[a.Name] = &checkStats{WallMS: elapsed[a.Name].Milliseconds()}
 	}
 	var total checkStats
 	for _, d := range active {
@@ -162,6 +182,9 @@ func writeStats(w io.Writer, analyzers []*analysis.Analyzer, active, suppressed 
 		}
 		total.Suppressed++
 	}
+	for _, c := range checks {
+		total.WallMS += c.WallMS
+	}
 	out := struct {
 		Total  checkStats             `json:"total"`
 		Checks map[string]*checkStats `json:"checks"`
@@ -169,6 +192,24 @@ func writeStats(w io.Writer, analyzers []*analysis.Analyzer, active, suppressed 
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// writeTimingTable prints per-analyzer wall time, slowest first.
+func writeTimingTable(w io.Writer, analyzers []*analysis.Analyzer, elapsed map[string]time.Duration) {
+	rows := make([]*analysis.Analyzer, len(analyzers))
+	copy(rows, analyzers)
+	sort.SliceStable(rows, func(i, j int) bool {
+		return elapsed[rows[i].Name] > elapsed[rows[j].Name]
+	})
+	var total time.Duration
+	for _, a := range rows {
+		total += elapsed[a.Name]
+	}
+	fmt.Fprintf(w, "soilint: analyzer wall time (all packages)\n")
+	for _, a := range rows {
+		fmt.Fprintf(w, "  %-13s %8.1fms\n", a.Name, float64(elapsed[a.Name].Microseconds())/1000)
+	}
+	fmt.Fprintf(w, "  %-13s %8.1fms\n", "total", float64(total.Microseconds())/1000)
 }
 
 // relativize rewrites absolute file paths relative to the module root for

@@ -23,6 +23,16 @@
 // observe a deadline (deadlineflow), and the mutex acquisition graph must
 // be cycle-free with no lock-held re-acquisition (lockorder).
 //
+// The fourth tier covers resource lifecycles and protocol conformance:
+// sync.Pool values (and their typed wrappers) must be returned to their
+// pool on every path or deliberately handed off via //soilint:pool
+// transfer (poolflow), acquired io.Closers must be closed or
+// ownership-transferred on every path that uses them (closeflow), and the
+// wire protocol's enum discipline — exhaustive Type/code switches, the
+// CodeFor/ErrFor bijection, server/client dispatch coverage, response
+// header completeness — must hold across internal/wire, internal/serve,
+// and client (wireconform).
+//
 // The framework is standard-library only (go/ast, go/parser, go/token,
 // go/types): a Loader that parses and type-checks module packages, an
 // Analyzer interface with position-carrying Diagnostics, and two
@@ -46,6 +56,7 @@ import (
 	"go/token"
 	"sort"
 	"strings"
+	"time"
 )
 
 // Diagnostic is one finding, anchored to a file position.
@@ -102,7 +113,7 @@ func (p *Pass) diagAt(pos token.Pos, format string, args ...any) Diagnostic {
 }
 
 // All lists every registered analyzer in stable order.
-var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder}
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder, PoolFlow, CloseFlow, WireConform}
 
 // ByName resolves a comma-separated check list ("hotalloc,errdrop") against
 // the registry; the empty string selects all analyzers.
@@ -260,11 +271,23 @@ func (s suppressions) suppressed(d Diagnostic) bool {
 // suppressed, each sorted by position and de-duplicated. The third result
 // carries informational notes (never gating, not subject to suppression).
 func Run(pkg *Package, analyzers []*Analyzer) (active, suppressed, notes []Diagnostic) {
+	return RunTimed(pkg, analyzers, nil)
+}
+
+// RunTimed is Run with per-analyzer wall-time accounting: when elapsed is
+// non-nil, each analyzer's execution time over this package is accumulated
+// into elapsed[name] (summing across packages when the caller reuses the
+// map). The CLI's -timing flag and the CI trend artifact are built on it.
+func RunTimed(pkg *Package, analyzers []*Analyzer, elapsed map[string]time.Duration) (active, suppressed, notes []Diagnostic) {
 	sup := collectSuppressions(pkg)
 	seen := make(map[Diagnostic]bool)
 	for _, a := range analyzers {
 		pass := &Pass{Analyzer: a, Pkg: pkg}
+		start := time.Now()
 		a.Run(pass)
+		if elapsed != nil {
+			elapsed[a.Name] += time.Since(start)
+		}
 		for _, d := range pass.diags {
 			if seen[d] {
 				continue

@@ -155,6 +155,59 @@ func TestAnalyzersGolden(t *testing.T) {
 			wantSuppressed: []int{102},
 		},
 		{
+			// A leak on the error path (13), a double-Put (28), a
+			// cross-pool Put (34), a use-after-Put (41), an unbound Get
+			// (46), a Put of a foreign value (53), an unbound transfer
+			// directive (120) and a malformed one (122). The defer,
+			// wrapper, return/send-transfer and directive-covered shapes
+			// stay silent.
+			name:           "poolflow",
+			dir:            fixtureDir("poolflow"),
+			analyzer:       PoolFlow,
+			wantActive:     []int{13, 28, 34, 41, 46, 53, 120, 122},
+			wantSuppressed: []int{111},
+		},
+		{
+			// A used-then-leaked conn (14), the same leak through a
+			// freshCloser wrapper (63), and a discarded acquire (120). The
+			// error-path read witness, defer Close, temp+rename saveWisdom
+			// mirror, closesParam helper and keeper shapes stay silent.
+			name:           "closeflow",
+			dir:            fixtureDir("closeflow"),
+			analyzer:       CloseFlow,
+			wantActive:     []int{14, 63, 120},
+			wantSuppressed: []int{125},
+		},
+		{
+			// A non-exhaustive Type switch (43), an empty-default code
+			// switch (56), the CodeFor bijection holes and round-trip
+			// mismatch (76, twice), and the ErrFor hole (88).
+			name:           "wireconform wire",
+			dir:            fixtureDir("wireconform", "internal", "wire"),
+			analyzer:       WireConform,
+			wantActive:     []int{43, 56, 76, 88},
+			wantSuppressed: nil,
+		},
+		{
+			// A request type unhandled by the dispatch (11), a response
+			// Header literal without ReqID (21) and a TError literal
+			// without Code (26).
+			name:           "wireconform serve",
+			dir:            fixtureDir("wireconform", "internal", "serve"),
+			analyzer:       WireConform,
+			wantActive:     []int{11, 21, 26},
+			wantSuppressed: nil,
+		},
+		{
+			// A response type unhandled by the demux (16) and a suppressed
+			// empty-default code switch (26).
+			name:           "wireconform client",
+			dir:            fixtureDir("wireconform", "client"),
+			analyzer:       WireConform,
+			wantActive:     []int{16},
+			wantSuppressed: []int{26},
+		},
+		{
 			name:           "file-ignore suppresses named check",
 			dir:            fixtureDir("fileignore"),
 			analyzer:       ErrDrop,

@@ -1,0 +1,122 @@
+// Package poolflow is the fixture for the sync.Pool lifecycle analyzer:
+// leaks on early-exit paths, double-Puts, cross-pool Puts, use-after-Put,
+// untrackable Gets, and the //soilint:pool transfer escape hatch.
+package poolflow
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+var rowPool = sync.Pool{New: func() any { b := make([]byte, 64); return &b }}
+
+// leakOnError returns early without putting the buffer back.
+func leakOnError(fail bool) int {
+	bp := bufPool.Get().(*[]byte) // finding: leak on the fail path
+	if fail {
+		return 0
+	}
+	n := len(*bp)
+	bufPool.Put(bp)
+	return n
+}
+
+// doublePut may put the same buffer twice when cond holds.
+func doublePut(cond bool) {
+	bp := bufPool.Get().(*[]byte)
+	if cond {
+		bufPool.Put(bp)
+	}
+	bufPool.Put(bp) // finding: reachable from the conditional Put above
+}
+
+// crossPool returns a buffer to a different pool than it came from.
+func crossPool() {
+	bp := bufPool.Get().(*[]byte)
+	rowPool.Put(bp) // finding: acquired from bufPool
+}
+
+// useAfterPut reads the buffer after releasing it.
+func useAfterPut() byte {
+	bp := bufPool.Get().(*[]byte)
+	bufPool.Put(bp)
+	return (*bp)[0] // finding: use after Put
+}
+
+// unboundGet discards the pooled value; its Put can never be tracked.
+func unboundGet() {
+	_ = bufPool.Get() // finding: not bound to a local
+}
+
+// putOfUnacquired releases a value that never came from a pool here.
+func putOfUnacquired() {
+	b := make([]byte, 8)
+	bp := &b
+	bufPool.Put(bp) // finding: not acquired in this function
+}
+
+// cleanDefer is the canonical shape: Get, defer Put.
+func cleanDefer() int {
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	return len(*bp)
+}
+
+// getBuf is a typed getter wrapper: its return value originates in a Get,
+// so callers of getBuf are acquirers.
+func getBuf() *[]byte {
+	return bufPool.Get().(*[]byte)
+}
+
+// putBuf is a typed putter wrapper: it releases its parameter, so callers
+// of putBuf are releasers. The parameter itself is the caller's to manage.
+func putBuf(bp *[]byte) {
+	bufPool.Put(bp)
+}
+
+// cleanWrapped exercises the interprocedural summaries end to end.
+func cleanWrapped(fail bool) int {
+	bp := getBuf()
+	defer putBuf(bp)
+	if fail {
+		return 0
+	}
+	return len(*bp)
+}
+
+// transferReturn hands the buffer to the caller: clean.
+func transferReturn() *[]byte {
+	bp := bufPool.Get().(*[]byte)
+	(*bp)[0] = 1
+	return bp
+}
+
+// transferSend hands the buffer to a channel consumer: clean.
+func transferSend(ch chan *[]byte) {
+	bp := bufPool.Get().(*[]byte)
+	ch <- bp
+}
+
+// sink borrows the buffer without releasing or storing it.
+func sink(bp *[]byte) { _ = len(*bp) }
+
+// directiveTransfer would be a leak, but the directive records that a
+// cooperating goroutine returns the value.
+func directiveTransfer() {
+	//soilint:pool transfer the drain goroutine puts it back after the batch completes
+	bp := bufPool.Get().(*[]byte)
+	sink(bp)
+}
+
+// suppressedLeak is the same leak shape as leakOnError, waived inline.
+func suppressedLeak(fail bool) int {
+	bp := bufPool.Get().(*[]byte) //soilint:ignore poolflow fixture: demonstrates suppression
+	if fail {
+		return 0
+	}
+	n := len(*bp)
+	bufPool.Put(bp)
+	return n
+}
+
+//soilint:pool transfer this directive covers nothing -- finding: unbound
+
+//soilint:pool missing-the-transfer-verb -- finding: malformed

@@ -1,0 +1,32 @@
+// Package client is the audited demux fixture: its import path ends in
+// client, so every response-classified wire.Type constant must be handled
+// by some Type switch here.
+package client
+
+import (
+	"errors"
+
+	"soifft/internal/analysis/testdata/src/wireconform/internal/wire"
+)
+
+var errUnknown = errors.New("client: unknown frame")
+
+// Demux rejects unknown frames but forgot the TError response type.
+func Demux(h *wire.Header) error {
+	switch h.Type { // finding: response TError unhandled in this package
+	case wire.TReply:
+		return nil
+	default:
+		return errUnknown
+	}
+}
+
+// Retryable repeats the empty-default mistake, waived inline.
+func Retryable(code uint32) bool {
+	switch code { //soilint:ignore wireconform fixture: demonstrates suppression
+	case wire.CodeBusy:
+		return true
+	default:
+	}
+	return false
+}

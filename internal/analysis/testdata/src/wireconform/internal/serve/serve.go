@@ -1,0 +1,32 @@
+// Package serve is the audited dispatch fixture: its import path ends in
+// internal/serve, so every request-classified wire.Type constant must be
+// handled by some Type switch here, and its response Header literals must
+// carry ReqID (and Code for TError).
+package serve
+
+import "soifft/internal/analysis/testdata/src/wireconform/internal/wire"
+
+// Dispatch rejects unknown frames but forgot the TWork request type.
+func Dispatch(h *wire.Header) bool {
+	switch h.Type { // finding: request TWork unhandled in this package
+	case wire.TPing:
+		return true
+	default:
+		return false
+	}
+}
+
+// reply forgot to echo the request id.
+func reply() wire.Header {
+	return wire.Header{Type: wire.TReply} // finding: no ReqID
+}
+
+// fault carries the id but not the mandatory error code.
+func fault(id uint64) wire.Header {
+	return wire.Header{Type: wire.TError, ReqID: id} // finding: no Code
+}
+
+// faultFull is the clean error-response shape.
+func faultFull(id uint64, code uint32) wire.Header {
+	return wire.Header{Type: wire.TError, ReqID: id, Code: code}
+}

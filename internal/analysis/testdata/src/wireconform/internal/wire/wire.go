@@ -1,0 +1,103 @@
+// Package wire is a fixture-local miniature of the real protocol package:
+// its import path ends in internal/wire, so wireconform extracts the enum
+// model from it and audits its switches and the CodeFor/ErrFor pair.
+package wire
+
+import "errors"
+
+// Type tags one frame.
+type Type byte
+
+const (
+	TPing  Type = 1 // request: liveness probe
+	TWork  Type = 2 // request: submit one job
+	TReply Type = 3 // response: job result
+	TError Type = 4 // response: failure report
+)
+
+// Header is the fixed frame prelude.
+type Header struct {
+	Type  Type
+	ReqID uint64
+	Code  uint32
+}
+
+// Wire error codes.
+const (
+	CodeBusy     uint32 = 1
+	CodeBad      uint32 = 2
+	CodeInternal uint32 = 3
+	CodeStale    uint32 = 4
+)
+
+// Typed sentinels.
+var (
+	ErrBusy     = errors.New("wire: busy")
+	ErrBad      = errors.New("wire: bad request")
+	ErrInternal = errors.New("wire: internal")
+	ErrOrphan   = errors.New("wire: orphaned request")
+)
+
+// String misses TError and has no default.
+func (t Type) String() string { // finding below: non-exhaustive switch
+	switch t {
+	case TPing:
+		return "ping"
+	case TWork:
+		return "work"
+	case TReply:
+		return "reply"
+	}
+	return "?"
+}
+
+// retryable has an empty default that swallows unknown codes.
+func retryable(code uint32) bool { // finding below: empty default
+	switch code {
+	case CodeBusy:
+		return true
+	default:
+	}
+	return false
+}
+
+// severity is the clean shape: a rejecting default.
+func severity(code uint32) int {
+	switch code {
+	case CodeBusy, CodeBad:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// CodeFor misses ErrOrphan (which is not the ErrFor default) and maps
+// ErrBad to a code ErrFor sends back to a different sentinel.
+func CodeFor(err error) uint32 {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return CodeBusy
+	case errors.Is(err, ErrBad):
+		return CodeBad
+	}
+	return CodeInternal
+}
+
+// ErrFor misses CodeStale (which is not the CodeFor default) and maps
+// CodeBad back to ErrBusy, breaking the round trip.
+func ErrFor(code uint32, msg string) error {
+	_ = msg
+	switch code {
+	case CodeBusy:
+		return ErrBusy
+	case CodeBad:
+		return ErrBusy
+	default:
+		return ErrInternal
+	}
+}
+
+// Reply builds a clean response header.
+func Reply(id uint64) Header {
+	return Header{Type: TReply, ReqID: id}
+}

@@ -1,0 +1,486 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireConform is the static twin of the wire-codec fuzz targets: where the
+// fuzzers prove the codec never crashes or mis-frames on hostile bytes,
+// this analyzer proves the protocol's *enum discipline* — that the three
+// packages speaking the protocol (internal/wire, internal/serve, client)
+// stay in lockstep when the enum grows. Concretely: every switch over
+// wire.Type or over the wire error codes either covers all declared
+// constants or carries a rejecting (non-empty) default; CodeFor and ErrFor
+// form a bijection between the typed sentinels and the declared codes
+// (modulo the designated defaults, which absorb unknowns); every constant
+// declared `// request: ...` is handled by the server dispatch and every
+// `// response: ...` constant by the client demux; and every response
+// Header literal sets ReqID (and Code, for TError). A new constant added
+// to the enum without updating its consumers becomes findings naming each
+// stale switch or mapping site — not a latent protocol bug.
+var WireConform = &Analyzer{
+	Name: "wireconform",
+	Doc:  "wire protocol conformance: exhaustive Type/code switches, CodeFor/ErrFor bijection, dispatch coverage, response header discipline",
+	Run:  runWireConform,
+}
+
+// wireModel is the declared protocol surface, extracted from the package
+// whose import path ends in internal/wire: the Type enum (classified
+// request/response by the constants' line comments), the Code* constants,
+// and the Err* sentinels.
+type wireModel struct {
+	pkg        *Package
+	typeName   *types.TypeName
+	typeConsts []*types.Const
+	class      map[*types.Const]string // "request" | "response" | ""
+	codes      []*types.Const
+	codeSet    map[types.Object]bool
+	typeSet    map[types.Object]bool
+	sentinels  []*types.Var
+}
+
+// extractWireModel builds the model, or nil when the package declares no
+// Type enum and no codes (e.g. fixture stubs of other analyzers).
+func extractWireModel(pkg *Package) *wireModel {
+	if pkg.Types == nil {
+		return nil
+	}
+	m := &wireModel{
+		pkg:     pkg,
+		class:   make(map[*types.Const]string),
+		codeSet: make(map[types.Object]bool),
+		typeSet: make(map[types.Object]bool),
+	}
+	scope := pkg.Types.Scope()
+	if tn, ok := scope.Lookup("Type").(*types.TypeName); ok {
+		if _, isBasic := tn.Type().Underlying().(*types.Basic); isBasic {
+			m.typeName = tn
+		}
+	}
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Const:
+			if m.typeName != nil && types.Identical(obj.Type(), m.typeName.Type()) {
+				m.typeConsts = append(m.typeConsts, obj)
+				m.typeSet[obj] = true
+			} else if strings.HasPrefix(name, "Code") {
+				if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+					m.codes = append(m.codes, obj)
+					m.codeSet[obj] = true
+				}
+			}
+		case *types.Var:
+			if strings.HasPrefix(name, "Err") && isErrorType(obj.Type()) {
+				m.sentinels = append(m.sentinels, obj)
+			}
+		}
+	}
+	if m.typeName == nil && len(m.codes) == 0 {
+		return nil
+	}
+	// Classify Type constants by their declaration line comments.
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Comment == nil || len(vs.Comment.List) == 0 {
+					continue
+				}
+				text := strings.TrimSpace(strings.TrimPrefix(vs.Comment.List[0].Text, "//"))
+				var kind string
+				if strings.HasPrefix(text, "request:") {
+					kind = "request"
+				} else if strings.HasPrefix(text, "response:") {
+					kind = "response"
+				} else {
+					continue
+				}
+				for _, name := range vs.Names {
+					if c, ok := pkg.Info.Defs[name].(*types.Const); ok && m.typeSet[c] {
+						m.class[c] = kind
+					}
+				}
+			}
+		}
+	}
+	return m
+}
+
+// findWireModel locates the wire package in pkg's module-local view (or
+// pkg itself) and extracts the model.
+func findWireModel(pkg *Package) *wireModel {
+	if pathHasSuffix(pkg.Path, "internal/wire") {
+		return extractWireModel(pkg)
+	}
+	for _, p := range newIPAView(pkg).pkgs {
+		if pathHasSuffix(p.Path, "internal/wire") {
+			return extractWireModel(p)
+		}
+	}
+	return nil
+}
+
+func runWireConform(pass *Pass) {
+	pkg := pass.Pkg
+	isWire := pathHasSuffix(pkg.Path, "internal/wire")
+	isServe := pathHasSuffix(pkg.Path, "internal/serve")
+	isClient := pathHasSuffix(pkg.Path, "client")
+	if !isWire && !isServe && !isClient {
+		return
+	}
+	model := findWireModel(pkg)
+	if model == nil {
+		return
+	}
+
+	covered := checkSwitches(pass, model)
+	if isWire {
+		checkBijection(pass, model)
+	}
+	if isServe {
+		checkDispatchCoverage(pass, model, covered, "request", "stale server dispatch")
+	}
+	if isClient {
+		checkDispatchCoverage(pass, model, covered, "response", "stale client demux")
+	}
+	checkHeaderLiterals(pass, model)
+}
+
+// switchCoverage records what the package's wire.Type switches handle.
+type switchCoverage struct {
+	firstSwitch *ast.SwitchStmt
+	handled     map[types.Object]bool
+}
+
+// checkSwitches verifies every switch over wire.Type or the wire codes is
+// exhaustive or rejects unknowns, returning the Type coverage union for
+// the dispatch checks.
+func checkSwitches(pass *Pass, model *wireModel) *switchCoverage {
+	pkg := pass.Pkg
+	info := pkg.Info
+	cov := &switchCoverage{handled: make(map[types.Object]bool)}
+	inspectAll(pkg, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tagType := info.TypeOf(sw.Tag)
+		isTypeSwitch := model.typeName != nil && tagType != nil &&
+			types.Identical(tagType, model.typeName.Type())
+
+		caseObjs := make(map[types.Object]bool)
+		hasDefault, emptyDefault := false, false
+		for _, cl := range sw.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if len(cc.List) == 0 {
+				hasDefault = true
+				emptyDefault = len(cc.Body) == 0
+				continue
+			}
+			for _, e := range cc.List {
+				if obj := constOf(info, e); obj != nil {
+					caseObjs[obj] = true
+				}
+			}
+		}
+
+		var required []*types.Const
+		var label string
+		switch {
+		case isTypeSwitch:
+			required, label = model.typeConsts, "wire."+model.typeName.Name()
+			if cov.firstSwitch == nil {
+				cov.firstSwitch = sw
+			}
+			for o := range caseObjs {
+				if model.typeSet[o] {
+					cov.handled[o] = true
+				}
+			}
+		default:
+			isCodeSwitch := false
+			for o := range caseObjs {
+				if model.codeSet[o] {
+					isCodeSwitch = true
+					break
+				}
+			}
+			if !isCodeSwitch {
+				return true
+			}
+			required, label = model.codes, "wire error codes"
+		}
+
+		if hasDefault && emptyDefault {
+			pass.Reportf(sw.Pos(), "switch over %s has an empty default: unknown values are silently ignored", label)
+			return true
+		}
+		if hasDefault {
+			return true
+		}
+		var missing []string
+		for _, c := range required {
+			if !caseObjs[c] {
+				missing = append(missing, c.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(sw.Pos(), "switch over %s does not handle %s and has no rejecting default (new constants fall through silently)", label, strings.Join(missing, ", "))
+		}
+		return true
+	})
+	return cov
+}
+
+// constOf resolves a case expression to the constant object it names.
+func constOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if c, ok := info.Uses[x].(*types.Const); ok {
+			return c
+		}
+	case *ast.SelectorExpr:
+		if c, ok := info.Uses[x.Sel].(*types.Const); ok {
+			return c
+		}
+	}
+	return nil
+}
+
+// checkDispatchCoverage verifies every request (server) or response
+// (client) constant is handled by at least one wire.Type switch in the
+// package.
+func checkDispatchCoverage(pass *Pass, model *wireModel, cov *switchCoverage, kind, blame string) {
+	if cov.firstSwitch == nil {
+		return // package does not dispatch on Type at all
+	}
+	var missing []string
+	for _, c := range model.typeConsts {
+		if model.class[c] == kind && !cov.handled[c] {
+			missing = append(missing, c.Name())
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		pass.Reportf(cov.firstSwitch.Pos(), "%s type %s is not handled by any wire.Type switch in this package (%s)", kind, name, blame)
+	}
+}
+
+// checkBijection parses CodeFor and ErrFor and verifies they invert each
+// other over the declared codes and sentinels, modulo the designated
+// defaults (the code CodeFor falls back to, and the sentinel ErrFor falls
+// back to, absorb all unknowns by design).
+func checkBijection(pass *Pass, model *wireModel) {
+	var codeForDecl, errForDecl *ast.FuncDecl
+	for _, f := range model.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			switch fd.Name.Name {
+			case "CodeFor", "codeFor":
+				codeForDecl = fd
+			case "ErrFor", "errFor":
+				errForDecl = fd
+			}
+		}
+	}
+	if codeForDecl == nil || errForDecl == nil || codeForDecl.Body == nil || errForDecl.Body == nil {
+		return
+	}
+	info := model.pkg.Info
+	sentinelSet := make(map[types.Object]bool, len(model.sentinels))
+	for _, s := range model.sentinels {
+		sentinelSet[s] = true
+	}
+
+	// CodeFor: tagless switch of errors.Is(err, ErrX) cases returning codes,
+	// with a fall-through default code.
+	codeFor := make(map[types.Object]types.Object) // sentinel -> code
+	var codeForDefault types.Object
+	ast.Inspect(codeForDecl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SwitchStmt:
+			if x.Tag != nil {
+				return true
+			}
+			for _, cl := range x.Body.List {
+				cc, ok := cl.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				code := firstObjIn(info, cc.Body, model.codeSet)
+				if len(cc.List) == 0 {
+					codeForDefault = code
+					continue
+				}
+				for _, e := range cc.List {
+					call, ok := ast.Unparen(e).(*ast.CallExpr)
+					if !ok || len(call.Args) != 2 {
+						continue
+					}
+					if fn := calleeFunc(info, call); fn == nil || fn.Name() != "Is" || pkgPathOf(fn) != "errors" {
+						continue
+					}
+					if s := constOrVarOf(info, call.Args[1]); s != nil && sentinelSet[s] && code != nil {
+						codeFor[s] = code
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			// The trailing return outside the switch is the default code.
+			if len(x.Results) == 1 {
+				if c := constOrVarOf(info, x.Results[0]); c != nil && model.codeSet[c] {
+					codeForDefault = c
+				}
+			}
+		}
+		return true
+	})
+
+	// ErrFor: tagged switch over the code parameter selecting a sentinel,
+	// with a default sentinel.
+	errFor := make(map[types.Object]types.Object) // code -> sentinel
+	var errForDefault types.Object
+	ast.Inspect(errForDecl.Body, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		for _, cl := range sw.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			sentinel := firstObjIn(info, cc.Body, sentinelSet)
+			if len(cc.List) == 0 {
+				errForDefault = sentinel
+				continue
+			}
+			if sentinel == nil {
+				continue
+			}
+			for _, e := range cc.List {
+				if c := constOf(info, e); c != nil && model.codeSet[c] {
+					errFor[c] = sentinel
+				}
+			}
+		}
+		return true
+	})
+
+	for _, s := range model.sentinels {
+		if codeFor[s] == nil && s != errForDefault {
+			pass.Reportf(codeForDecl.Pos(), "CodeFor has no case for sentinel %s: it degrades to the default code", s.Name())
+		}
+	}
+	for _, c := range model.codes {
+		if errFor[c] == nil && c != codeForDefault {
+			pass.Reportf(errForDecl.Pos(), "ErrFor has no case for code %s: it degrades to the default sentinel", c.Name())
+		}
+	}
+	for s, c := range codeFor {
+		if back := errFor[c]; back != nil && back != s {
+			pass.Reportf(codeForDecl.Pos(), "round-trip mismatch: CodeFor maps %s to %s but ErrFor maps %s back to %s", s.Name(), c.Name(), c.Name(), back.Name())
+		}
+	}
+}
+
+// firstObjIn finds the first identifier in stmts resolving to an object of
+// the given set (the returned code of a CodeFor case, the assigned
+// sentinel of an ErrFor case).
+func firstObjIn(info *types.Info, stmts []ast.Stmt, set map[types.Object]bool) types.Object {
+	var found types.Object
+	for _, st := range stmts {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if found != nil {
+				return false
+			}
+			if id, ok := n.(*ast.Ident); ok {
+				if o := info.Uses[id]; o != nil && set[o] {
+					found = o
+				}
+			}
+			return true
+		})
+		if found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// constOrVarOf resolves an expression to the constant or variable object it
+// names (sentinels are vars, codes are consts).
+func constOrVarOf(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// checkHeaderLiterals verifies every response-typed wire.Header composite
+// literal sets ReqID, and that error responses also set Code.
+func checkHeaderLiterals(pass *Pass, model *wireModel) {
+	pkg := pass.Pkg
+	info := pkg.Info
+	inspectAll(pkg, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(cl)
+		if t == nil {
+			return true
+		}
+		named, ok := t.(*types.Named)
+		if !ok || named.Obj().Name() != "Header" || named.Obj().Pkg() != model.pkg.Types {
+			return true
+		}
+		keys := make(map[string]ast.Expr)
+		keyed := false
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				keyed = true
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id.Name] = kv.Value
+				}
+			}
+		}
+		if !keyed {
+			return true // positional literal: all fields are present by construction
+		}
+		typeVal, ok := keys["Type"]
+		if !ok {
+			return true
+		}
+		c, ok := constOf(info, typeVal).(*types.Const)
+		if !ok || model.class[c] != "response" {
+			return true
+		}
+		if _, ok := keys["ReqID"]; !ok {
+			pass.Reportf(cl.Pos(), "%s response Header literal does not set ReqID (responses must echo the request id)", c.Name())
+		}
+		if c.Name() == "TError" {
+			if _, ok := keys["Code"]; !ok {
+				pass.Reportf(cl.Pos(), "TError Header literal does not set Code (error responses must carry a wire code)")
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,191 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// mutationWire is a complete miniature protocol: every switch is exhaustive,
+// the CodeFor/ErrFor pair is a bijection modulo the designated defaults,
+// and the dispatch below covers every constant. The baseline must be clean.
+const mutationWire = `package wire
+
+import "errors"
+
+type Type byte
+
+const (
+	TForward Type = 1 // request: forward transform
+	TStats   Type = 2 // request: stats snapshot
+	TResult  Type = 3 // response: transform result
+	TError   Type = 4 // response: failure report
+)
+
+type Header struct {
+	Type  Type
+	ReqID uint64
+	Code  uint32
+}
+
+const (
+	CodeBad      uint32 = 1
+	CodeInternal uint32 = 2
+)
+
+var (
+	ErrBad      = errors.New("bad")
+	ErrInternal = errors.New("internal")
+)
+
+func (t Type) String() string {
+	switch t {
+	case TForward:
+		return "forward"
+	case TStats:
+		return "stats"
+	case TResult:
+		return "result"
+	case TError:
+		return "error"
+	}
+	return "?"
+}
+
+func CodeFor(err error) uint32 {
+	switch {
+	case errors.Is(err, ErrBad):
+		return CodeBad
+	}
+	return CodeInternal
+}
+
+func ErrFor(code uint32, msg string) error {
+	_ = msg
+	switch code {
+	case CodeBad:
+		return ErrBad
+	default:
+		return ErrInternal
+	}
+}
+`
+
+const mutationServe = `package serve
+
+import "wiremutate/internal/wire"
+
+func Dispatch(h *wire.Header) string {
+	switch h.Type {
+	case wire.TForward:
+		return "run"
+	case wire.TStats:
+		return "stats"
+	case wire.TResult, wire.TError:
+		return "drop"
+	}
+	return ""
+}
+`
+
+// mutationGrowth is the enum growth with NO consumer updated: a new request
+// type, a new code, and a new sentinel.
+const mutationGrowth = `
+const TPing Type = 5 // request: liveness probe
+
+const CodeTooBig uint32 = 3
+
+var ErrTooBig = errors.New("too big")
+`
+
+// TestWireConformMutation is the analyzer's reason to exist, run as an
+// experiment: a clean miniature protocol stays clean, and growing the enum
+// without touching any consumer produces a finding naming every stale site
+// — the Type switches in wire and serve, the dispatch coverage, and both
+// halves of the code/sentinel mapping.
+func TestWireConformMutation(t *testing.T) {
+	root := t.TempDir()
+	wireDir := filepath.Join(root, "internal", "wire")
+	serveDir := filepath.Join(root, "internal", "serve")
+	for dir, content := range map[string]string{
+		filepath.Join(root, "go.mod"):       "module wiremutate\n\ngo 1.21\n",
+		filepath.Join(wireDir, "wire.go"):   mutationWire,
+		filepath.Join(serveDir, "serve.go"): mutationServe,
+	} {
+		if err := os.MkdirAll(filepath.Dir(dir), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(dir, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The loader caches packages per import path, so every round gets a
+	// fresh loader over the temp module.
+	runRound := func() []Diagnostic {
+		t.Helper()
+		l, err := NewLoader(root)
+		if err != nil {
+			t.Fatalf("NewLoader(%s): %v", root, err)
+		}
+		var all []Diagnostic
+		for _, dir := range []string{wireDir, serveDir} {
+			pkg, err := l.LoadDir(dir)
+			if err != nil {
+				t.Fatalf("LoadDir(%s): %v", dir, err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("%s type errors: %v", dir, pkg.TypeErrors)
+			}
+			active, _, _ := Run(pkg, []*Analyzer{WireConform})
+			all = append(all, active...)
+		}
+		return all
+	}
+
+	if diags := runRound(); len(diags) > 0 {
+		for _, d := range diags {
+			t.Errorf("baseline not clean: %s", d)
+		}
+		t.FailNow()
+	}
+
+	if err := os.WriteFile(filepath.Join(wireDir, "wire.go"), []byte(mutationWire+mutationGrowth), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	diags := runRound()
+	wantFragments := []string{
+		// wire's own String() switch went stale.
+		"switch over wire.Type does not handle TPing",
+		// the server dispatch never learned the new request type.
+		"request type TPing is not handled by any wire.Type switch in this package (stale server dispatch)",
+		// both halves of the code mapping went stale.
+		"CodeFor has no case for sentinel ErrTooBig",
+		"ErrFor has no case for code CodeTooBig",
+	}
+	for _, frag := range wantFragments {
+		found := false
+		for _, d := range diags {
+			if strings.Contains(d.Message, frag) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("mutation produced no finding containing %q; got:", frag)
+			for _, d := range diags {
+				t.Logf("  %s", d)
+			}
+		}
+	}
+	// Exactly the stale sites, nothing else: two stale switches (wire
+	// String, serve Dispatch), one dispatch-coverage finding, two mapping
+	// holes.
+	if len(diags) != 5 {
+		t.Errorf("mutation produced %d findings, want 5:", len(diags))
+		for _, d := range diags {
+			t.Errorf("  %s", d)
+		}
+	}
+}

@@ -303,10 +303,10 @@ func (s *SixStep) forwardOpt(dst, src []complex128) {
 	if s.variant == SixStepOpt {
 		par.ForChunked(s.workers, ntiles, 8, func(lo, hi int) {
 			bp := s.tilePool.Get().(*[]complex128)
+			defer s.tilePool.Put(bp)
 			for t := lo; t < hi; t++ {
 				s.columnTile(w, src, t, *bp)
 			}
-			s.tilePool.Put(bp)
 		})
 	} else {
 		s.columnPassPipelined(w, src, ntiles)
@@ -321,8 +321,8 @@ func (s *SixStep) forwardOpt(dst, src []complex128) {
 	// values share each k2 line of dst).
 	par.ForChunked(s.workers, s.n1, tileCols, func(lo, hi int) {
 		rp := s.rowPool.Get().(*[]complex128)
+		defer s.rowPool.Put(rp)
 		s.rowGroupFFTScatter(dst, w, lo, hi, *rp)
-		s.rowPool.Put(rp)
 	})
 }
 
@@ -467,6 +467,7 @@ func (s *SixStep) columnPassPipelined(w, src []complex128, ntiles int) {
 	free := make(chan []complex128, loaders+workers+2)
 	pooled := make([]*[]complex128, cap(free))
 	for i := range pooled {
+		//soilint:pool transfer headers are parked in pooled and returned after both teams drain
 		pooled[i] = s.tilePool.Get().(*[]complex128)
 		free <- *pooled[i]
 	}
@@ -512,6 +513,7 @@ func (s *SixStep) columnPassPipelined(w, src []complex128, ntiles int) {
 	// headers in pooled still reference them all. Return them for the next
 	// transform.
 	for _, bp := range pooled {
+		//soilint:pool transfer returning the headers acquired during pipeline priming above
 		s.tilePool.Put(bp)
 	}
 }

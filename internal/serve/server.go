@@ -475,10 +475,12 @@ func (cn *conn) dispatch(h *wire.Header) bool {
 		return true
 	case wire.TForward, wire.TInverse, wire.TBatch:
 		return cn.admit(h)
+	default:
+		// Clients must not send response-typed (or unknown) frames; answer
+		// and hang up.
+		cn.out <- outFrame{reqID: h.ReqID, err: fmt.Errorf("%w: unexpected frame type %v", wire.ErrBadRequest, h.Type)}
+		return false
 	}
-	// Clients must not send response-typed frames; answer and hang up.
-	cn.out <- outFrame{reqID: h.ReqID, err: fmt.Errorf("%w: unexpected frame type %v", wire.ErrBadRequest, h.Type)}
-	return false
 }
 
 // admit validates, reads and submits one transform request. false only for

@@ -29,9 +29,9 @@ func FuzzReadHeader(f *testing.F) {
 	for ty := TForward; ty <= TStatsResult; ty++ {
 		f.Add(validHeaderBytes(ty))
 	}
-	f.Add(validHeaderBytes(TForward)[:17])         // truncated mid-header
-	f.Add([]byte{})                                // empty stream
-	f.Add(bytes.Repeat([]byte{0xFF}, HeaderLen))   // all-ones garbage
+	f.Add(validHeaderBytes(TForward)[:17])       // truncated mid-header
+	f.Add([]byte{})                              // empty stream
+	f.Add(bytes.Repeat([]byte{0xFF}, HeaderLen)) // all-ones garbage
 	corrupt := validHeaderBytes(TBatch)
 	corrupt[0] ^= 0x40 // bad magic
 	f.Add(corrupt)
@@ -58,6 +58,12 @@ func FuzzReadHeader(f *testing.F) {
 		}
 		if h != h2 {
 			t.Fatalf("header round trip changed: %+v -> %+v", h, h2)
+		}
+		// The error code rides in the header; a TError frame whose code is
+		// rewritten in flight would resurface as the wrong sentinel on the
+		// client, so pin the field explicitly on top of the struct equality.
+		if h2.Code != h.Code {
+			t.Fatalf("code field changed across round trip: %d -> %d", h.Code, h2.Code)
 		}
 		// CheckTransformPayload must classify, never panic, on any header.
 		_ = CheckTransformPayload(&h)

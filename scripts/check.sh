@@ -36,10 +36,11 @@ run_gate "go build ./..." go build ./...
 run_gate "go vet ./..." go vet ./...
 run_gate "soilint ./..." go run ./cmd/soilint ./...
 
-# The four concurrency-lifecycle analyzers also gate individually: a
-# regression then names the failing check in the gate summary instead of
-# hiding inside the combined run (the loader cache makes the repeats cheap).
-for check in goleak chanlife deadlineflow lockorder; do
+# The concurrency-lifecycle, resource-lifecycle and protocol-conformance
+# analyzers also gate individually: a regression then names the failing
+# check in the gate summary instead of hiding inside the combined run (the
+# loader cache makes the repeats cheap).
+for check in goleak chanlife deadlineflow lockorder poolflow closeflow wireconform; do
     run_gate "soilint -checks $check" go run ./cmd/soilint -checks "$check" ./...
 done
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
