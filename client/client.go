@@ -346,9 +346,21 @@ func (c *Client) readLoop() {
 		}
 		switch h.Type {
 		case wire.TResult:
+			// The response header comes from the server, which is just as
+			// untrusted as a client is to it: the geometry product is
+			// overflow-checked and tied to PayloadLen before any read is
+			// sized from it. An inconsistent response is a protocol
+			// violation the stream cannot be resynced past.
 			p := c.take(h.ReqID)
-			if p == nil || uint64(len(p.dst)) != h.N*uint64(h.Count) {
-				// Cancelled caller or geometry mismatch: drop the payload.
+			elems, serr := wire.CheckedSize(h.N, h.Count)
+			if serr != nil || uint64(elems)*wire.BytesPerElem != h.PayloadLen {
+				fatal = fmt.Errorf("soifft client: invalid response geometry n=%d count=%d payload=%d", h.N, h.Count, h.PayloadLen)
+				if p != nil {
+					p.ch <- fatal
+				}
+			} else if p == nil || elems != len(p.dst) {
+				// Cancelled caller or geometry mismatch: drop the payload
+				// (bounded by the consistency check above).
 				if err := wire.DiscardPayload(br, h.PayloadLen); err != nil {
 					fatal = err
 				}

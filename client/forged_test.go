@@ -1,0 +1,141 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"soifft/internal/wire"
+)
+
+// forgedPeer wires a Client to an in-process fake server over net.Pipe.
+// For each request frame it reads, it calls forge to decide the response
+// header and payload, echoing nothing else of the real protocol — the
+// point is to hand the demultiplexer exactly the bytes we choose.
+func forgedPeer(t *testing.T, forge func(req wire.Header) (wire.Header, []complex128)) *Client {
+	t.Helper()
+	cs, ss := net.Pipe()
+	go func() {
+		for {
+			h, err := wire.ReadHeader(ss)
+			if err != nil {
+				return
+			}
+			if err := wire.DiscardPayload(ss, h.PayloadLen); err != nil {
+				return
+			}
+			rh, payload := forge(h)
+			if err := wire.WriteHeader(ss, &rh); err != nil {
+				return
+			}
+			if payload != nil {
+				if err := wire.WriteVector(ss, payload); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	cl := New(cs)
+	cl.SetIOTimeout(2 * time.Second)
+	t.Cleanup(func() {
+		cl.Close()
+		ss.Close()
+	})
+	return cl
+}
+
+// TestForgedResponseGeometry: a response header whose N*Count*BytesPerElem
+// wraps (or disagrees with PayloadLen) must fail the caller with a typed
+// protocol error before any allocation or read is sized from it, and must
+// tear the connection down — the stream cannot be resynced past a frame
+// whose true length is unknowable.
+func TestForgedResponseGeometry(t *testing.T) {
+	forgeries := []struct {
+		name string
+		resp wire.Header
+	}{
+		{
+			// 4*(2^62+1)*16 mod 2^64 = 256: a modular check would size a
+			// 2^62-element read buffer from this header.
+			name: "wrap-forged product",
+			resp: wire.Header{Type: wire.TResult, Count: 4, N: 1<<62 + 1, PayloadLen: 16 * wire.BytesPerElem},
+		},
+		{
+			name: "payload disagrees with geometry",
+			resp: wire.Header{Type: wire.TResult, Count: 1, N: 8, PayloadLen: 8*wire.BytesPerElem - 1},
+		},
+		{
+			name: "zero geometry with payload",
+			resp: wire.Header{Type: wire.TResult, Count: 0, N: 0, PayloadLen: 8 * wire.BytesPerElem},
+		},
+	}
+	for _, tc := range forgeries {
+		t.Run(tc.name, func(t *testing.T) {
+			cl := forgedPeer(t, func(req wire.Header) (wire.Header, []complex128) {
+				rh := tc.resp
+				rh.ReqID = req.ReqID
+				return rh, nil
+			})
+
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+
+			src := make([]complex128, 8)
+			dst := make([]complex128, 8)
+			err := cl.Forward(context.Background(), dst, src)
+			if err == nil || !strings.Contains(err.Error(), "invalid response geometry") {
+				t.Fatalf("Forward against forged response: %v, want invalid-geometry error", err)
+			}
+
+			runtime.GC()
+			runtime.ReadMemStats(&after)
+			if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<20 {
+				t.Errorf("forged response drove %d bytes of allocation, want < 1 MiB", delta)
+			}
+
+			// The demultiplexer is down: later calls fail closed instead of
+			// reading frames whose framing can no longer be trusted.
+			if err := cl.Forward(context.Background(), dst, src); !errors.Is(err, ErrClosed) {
+				t.Errorf("Forward after forged response: %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestForgedResponseWrongSize: a self-consistent response sized for a
+// different request fails that caller with a mismatch error, but the
+// stream stays alive — the declared payload is trustworthy, so the
+// demultiplexer can drop it and keep serving other calls.
+func TestForgedResponseWrongSize(t *testing.T) {
+	var forgeFirst = true
+	cl := forgedPeer(t, func(req wire.Header) (wire.Header, []complex128) {
+		if forgeFirst {
+			forgeFirst = false
+			// Twice the requested points, internally consistent.
+			return wire.Header{
+				Type: wire.TResult, ReqID: req.ReqID, Count: 1, N: 16,
+				PayloadLen: 16 * wire.BytesPerElem,
+			}, make([]complex128, 16)
+		}
+		// Honest echo: right geometry, zero payload values.
+		return wire.Header{
+			Type: wire.TResult, ReqID: req.ReqID, Count: req.Count, N: req.N,
+			PayloadLen: req.PayloadLen,
+		}, make([]complex128, int(req.N)*int(req.Count))
+	})
+
+	src := make([]complex128, 8)
+	dst := make([]complex128, 8)
+	err := cl.Forward(context.Background(), dst, src)
+	if err == nil || !strings.Contains(err.Error(), "caller expected") {
+		t.Fatalf("Forward against wrong-size response: %v, want size-mismatch error", err)
+	}
+	if err := cl.Forward(context.Background(), dst, src); err != nil {
+		t.Fatalf("stream did not survive a well-framed wrong-size response: %v", err)
+	}
+}

@@ -14,8 +14,13 @@
 // (the CI lint-trend artifact); like -json both still exit 1 on findings.
 // -timing prints a per-analyzer wall-time table to stderr and warns when
 // any analyzer exceeds -timing-budget (default 30s) summed over all
-// packages — a soft budget: the exit status is unaffected. Findings are
-// suppressed line-by-line
+// packages — a soft budget: the exit status is unaffected.
+// -timing-budget-file names a JSON map of check name to maximum wall time
+// in milliseconds and is a hard gate: an analyzer over its budget, a
+// selected analyzer with no entry, or an entry naming no known analyzer
+// all fail the run with exit 1 (the checked-in timing_budget.json is the
+// CI contract; widen it deliberately in review, like the escape budget).
+// Findings are suppressed line-by-line
 // with a justified "//soilint:ignore <check>" comment on the offending line
 // or the line above, or file-wide with "//soilint:file-ignore <check> --
 // <reason>" at the top of the file (the reason is mandatory). Analyzer
@@ -49,6 +54,7 @@ func run() int {
 	verbose := flag.Bool("v", false, "also list suppressed findings, analyzer notes and type-check warnings")
 	timing := flag.Bool("timing", false, "print a per-analyzer wall-time table to stderr")
 	timingBudget := flag.Duration("timing-budget", 30*time.Second, "warn (without failing) when one analyzer exceeds this much total wall time")
+	timingBudgetFile := flag.String("timing-budget-file", "", "JSON map of check name to max wall time in ms; a hard gate: over budget, a selected check with no entry, or an unknown entry exits 1")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: soilint [-json] [-sarif] [-stats] [-timing] [-checks list] [-v] [packages]\navailable checks:\n")
 		for _, a := range analysis.All {
@@ -107,6 +113,18 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "soilint: warning: %s took %v across all packages, over the %v budget\n", a.Name, d.Round(time.Millisecond), *timingBudget)
 		}
 	}
+	budgetFailed := false
+	if *timingBudgetFile != "" {
+		budget, err := loadTimingBudget(*timingBudgetFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "soilint:", err)
+			return 2
+		}
+		for _, v := range timingViolations(budget, analyzers, analysis.All, elapsed) {
+			fmt.Fprintf(os.Stderr, "soilint: timing budget: %s\n", v)
+			budgetFailed = true
+		}
+	}
 
 	switch {
 	case *statsOut:
@@ -149,7 +167,60 @@ func run() int {
 		}
 		return 1
 	}
+	if budgetFailed {
+		return 1
+	}
 	return 0
+}
+
+// loadTimingBudget reads a JSON object mapping check name to its maximum
+// wall time in milliseconds (the checked-in timing_budget.json).
+func loadTimingBudget(path string) (map[string]int64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("timing budget: %w", err)
+	}
+	budget := make(map[string]int64)
+	if err := json.Unmarshal(data, &budget); err != nil {
+		return nil, fmt.Errorf("timing budget %s: %w", path, err)
+	}
+	return budget, nil
+}
+
+// timingViolations audits measured analyzer wall time against a hard
+// budget. Three shapes violate: a selected analyzer over its budget, a
+// selected analyzer with no entry (a new check must be budgeted when it
+// lands, exactly as a new function must be budgeted in the escape gate),
+// and an entry naming no known analyzer (a stale or misspelled key would
+// otherwise rot the gate silently). Messages are stable-ordered so CI
+// logs diff cleanly.
+func timingViolations(budget map[string]int64, selected, known []*analysis.Analyzer, elapsed map[string]time.Duration) []string {
+	var v []string
+	for _, a := range selected {
+		ms, ok := budget[a.Name]
+		if !ok {
+			v = append(v, fmt.Sprintf("check %s has no budget entry; add one to the budget file", a.Name))
+			continue
+		}
+		if got := elapsed[a.Name].Milliseconds(); got > ms {
+			v = append(v, fmt.Sprintf("check %s took %dms across all packages, over its %dms budget", a.Name, got, ms))
+		}
+	}
+	names := make(map[string]bool, len(known))
+	for _, a := range known {
+		names[a.Name] = true
+	}
+	stale := make([]string, 0, len(budget))
+	for key := range budget {
+		if !names[key] {
+			stale = append(stale, key)
+		}
+	}
+	sort.Strings(stale)
+	for _, key := range stale {
+		v = append(v, fmt.Sprintf("budget entry %q names no known check; remove it", key))
+	}
+	return v
 }
 
 // checkStats is one row of the -stats output. WallMS is the analyzer's

@@ -33,6 +33,17 @@
 // header completeness — must hold across internal/wire, internal/serve,
 // and client (wireconform).
 //
+// The fifth tier is condition-aware (guard.go): a guard lattice records
+// which values are dominated by a comparison against a trusted bound, and
+// a saturating integer-range domain evaluates the wire/serve/client size
+// algebra. On top sit two analyzers enforcing the trust boundary around
+// attacker-controlled frame headers — values decoded by wire.ReadHeader
+// must pass a dominating bound check before sizing an allocation, index,
+// reslice, loop, or io read, with reviewed sinks escaped via
+// //soilint:taint checked (taintflow), and size products or narrowing
+// conversions on those values must not wrap or go negative before the
+// guard that is supposed to bound them (intflow).
+//
 // The framework is standard-library only (go/ast, go/parser, go/token,
 // go/types): a Loader that parses and type-checks module packages, an
 // Analyzer interface with position-carrying Diagnostics, and two
@@ -113,7 +124,7 @@ func (p *Pass) diagAt(pos token.Pos, format string, args ...any) Diagnostic {
 }
 
 // All lists every registered analyzer in stable order.
-var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder, PoolFlow, CloseFlow, WireConform}
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder, PoolFlow, CloseFlow, WireConform, TaintFlow, IntFlow}
 
 // ByName resolves a comma-separated check list ("hotalloc,errdrop") against
 // the registry; the empty string selects all analyzers.

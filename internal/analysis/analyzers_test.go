@@ -208,6 +208,31 @@ func TestAnalyzersGolden(t *testing.T) {
 			wantSuppressed: []int{26},
 		},
 		{
+			// Each direct sink shape unguarded (25 make, 26 index, 27
+			// reslice, 28 loop bound, 31 io length), a guard killed by a
+			// header re-read (74), an unguarded argument to a sinking
+			// callee (86), an unused taint directive (113) and a
+			// malformed one (116). The reject, sink-inside-branch, clamp,
+			// guarded-caller and directive-covered shapes stay silent.
+			name:           "taintflow",
+			dir:            fixtureDir("taintflow", "internal", "serve"),
+			analyzer:       TaintFlow,
+			wantActive:     []int{25, 26, 27, 28, 31, 74, 86, 113, 116},
+			wantSuppressed: []int{102},
+		},
+		{
+			// A chained product wrapping uint64 (19), an int conversion
+			// that can go negative before its guard (27), a narrowing
+			// conversion (37), and unchecked header fields fed to a
+			// wrapping callee (74). The guarded conversion and the
+			// quotient-form product guard stay silent.
+			name:           "intflow",
+			dir:            fixtureDir("intflow", "internal", "serve"),
+			analyzer:       IntFlow,
+			wantActive:     []int{19, 27, 37, 74},
+			wantSuppressed: []int{80},
+		},
+		{
 			name:           "file-ignore suppresses named check",
 			dir:            fixtureDir("fileignore"),
 			analyzer:       ErrDrop,

@@ -1,0 +1,1276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"strings"
+)
+
+// This file is the condition-aware dataflow core shared by taintflow and
+// intflow: a per-function taint engine whose sources are the header fields
+// decoded by wire.ReadHeader, a guard lattice that answers "is this value
+// dominated by a comparison against a trusted bound at this program
+// point?", a small saturating integer-range domain for the wire/serve/
+// client size algebra (uint64→int conversions, a*b*BytesPerElem products),
+// and interprocedural parameter-sink summaries so a guard established in a
+// caller absolves the callee and an unguarded argument is flagged at the
+// call site.
+//
+// Deliberate approximations, shared by both analyzers:
+//
+//   - Function literals are opaque, matching the CFG core: taint does not
+//     flow across a closure boundary.
+//   - Call results are trusted (the callee's own body is audited through
+//     its summary), so checked helpers like wire.CheckedSize launder taint
+//     by construction.
+//   - A guard is an if-condition comparing the tainted value against a
+//     fully-trusted expression, accepted in three shapes: a branch that
+//     terminates control flow (reject), the sink enclosed in a branch of
+//     the if (use-inside-check), or a branch that re-binds the value to a
+//     trusted one (clamp). Comparisons against the constant zero are never
+//     guards: they cannot bound a size from above.
+//   - The range domain tracks upper bounds only, assuming trusted signed
+//     quantities are non-negative (they are sizes) and int is 64 bits wide.
+//     A dominating `x > limit/y` comparison bounds the product x*y by the
+//     numerator — the quotient-form overflow-check idiom.
+
+// taintKey identifies one tracked untrusted value: a variable, or one
+// field of a variable (h.N is {base h, field N}).
+type taintKey struct {
+	base  types.Object
+	field types.Object // nil: the base itself
+}
+
+// keyName renders a key for diagnostics ("h.N", "n").
+func keyName(k taintKey) string {
+	if k.base == nil {
+		return "?"
+	}
+	if k.field != nil {
+		return k.base.Name() + "." + k.field.Name()
+	}
+	return k.base.Name()
+}
+
+// sinkKind classifies where an untrusted value lands.
+type sinkKind int
+
+const (
+	sinkMakeSize sinkKind = iota
+	sinkIndex
+	sinkReslice
+	sinkLoopBound
+	sinkIOLen
+	sinkMulWrap
+	sinkConvNegative
+	sinkConvTruncate
+)
+
+// taintKind reports whether the kind belongs to taintflow (true) or
+// intflow (false).
+func (k sinkKind) taintKind() bool { return k <= sinkIOLen }
+
+// phrase renders the sink for taintflow messages.
+func (k sinkKind) phrase() string {
+	switch k {
+	case sinkMakeSize:
+		return "a make size"
+	case sinkIndex:
+		return "a slice index"
+	case sinkReslice:
+		return "a reslice bound"
+	case sinkLoopBound:
+		return "a loop bound"
+	case sinkIOLen:
+		return "an io read length"
+	}
+	return "a sink"
+}
+
+// intPhrase renders the hazard for intflow call-site messages.
+func (k sinkKind) intPhrase() string {
+	switch k {
+	case sinkMulWrap:
+		return "can wrap in a size product"
+	case sinkConvNegative:
+		return "can go negative in an int conversion"
+	case sinkConvTruncate:
+		return "can truncate in a narrowing conversion"
+	}
+	return "overflows"
+}
+
+// taintSink is one unguarded flow of an untrusted value into a sink.
+type taintSink struct {
+	kind sinkKind
+	pos  token.Pos
+	key  taintKey
+	expr ast.Expr
+	via  string // "" for direct sinks; callee display name for call sites
+}
+
+// isWireHeaderSource matches calls to ReadHeader of a package whose import
+// path ends in internal/wire — the trust boundary where attacker bytes
+// become Go values.
+func isWireHeaderSource(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	return f != nil && f.Name() == "ReadHeader" && pathHasSuffix(pkgPathOf(f), "internal/wire")
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// walkNoLits walks root, skipping function-literal bodies (they execute at
+// call time and get their own scope).
+func walkNoLits(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// taintScope is the per-function analysis state: which keys are tainted,
+// where their taint came from, and the CFG for dominance queries.
+type taintScope struct {
+	pkg   *Package
+	scope funcScope
+	g     *funcCFG
+
+	tainted map[taintKey]bool
+	// parents maps a derived key to the keys its taint flowed from, so a
+	// guard on h.N also guards n := int(h.N).
+	parents map[taintKey]map[taintKey]bool
+	// sourceAssigns are the statements that (re)introduce untrusted values
+	// (h, err := wire.ReadHeader(r)); they kill earlier guards on a
+	// backward path.
+	sourceAssigns map[ast.Node][]taintKey
+	condOf        map[ast.Node]*ast.IfStmt
+	ifs           []*ast.IfStmt
+}
+
+// newTaintScope analyzes one function body. seeds pre-taints objects
+// (parameters, in summary mode); nil seeds means real sources only.
+// Returns nil when nothing in the scope is tainted.
+func newTaintScope(pkg *Package, scope funcScope, seeds []types.Object) *taintScope {
+	ts := &taintScope{
+		pkg:           pkg,
+		scope:         scope,
+		tainted:       make(map[taintKey]bool),
+		parents:       make(map[taintKey]map[taintKey]bool),
+		sourceAssigns: make(map[ast.Node][]taintKey),
+		condOf:        make(map[ast.Node]*ast.IfStmt),
+	}
+	for _, o := range seeds {
+		ts.tainted[taintKey{base: o}] = true
+	}
+	walkNoLits(scope.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			ts.condOf[x.Cond] = x
+			ts.ifs = append(ts.ifs, x)
+		case *ast.AssignStmt:
+			if len(x.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
+			if !ok || !isWireHeaderSource(pkg.Info, call) {
+				return true
+			}
+			var keys []taintKey
+			for _, l := range x.Lhs {
+				id, ok := ast.Unparen(l).(*ast.Ident)
+				if ok {
+					if o := objOf(pkg.Info, id); o != nil && isErrorType(o.Type()) {
+						continue
+					}
+				}
+				if k, ok := ts.lhsKey(l); ok {
+					ts.tainted[k] = true
+					keys = append(keys, k)
+				}
+			}
+			if len(keys) > 0 {
+				ts.sourceAssigns[x] = keys
+			}
+		}
+		return true
+	})
+	if len(ts.tainted) == 0 {
+		return nil
+	}
+	ts.propagate()
+	ts.g = buildCFG(scope.body)
+	return ts
+}
+
+// propagate runs the assignment fixpoint: any value assigned from a
+// tainted expression becomes tainted, with the sources recorded as
+// parents.
+func (ts *taintScope) propagate() {
+	for iter := 0; iter < 64; iter++ {
+		changed := false
+		walkNoLits(ts.scope.body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i := range as.Lhs {
+				if ts.flow(as.Lhs[i], as.Rhs[i]) {
+					changed = true
+				}
+			}
+			return true
+		})
+		if !changed {
+			return
+		}
+	}
+}
+
+func (ts *taintScope) flow(lhs, rhs ast.Expr) bool {
+	keys := ts.exprKeys(rhs)
+	if len(keys) == 0 {
+		return false
+	}
+	lk, ok := ts.lhsKey(lhs)
+	if !ok {
+		return false
+	}
+	changed := !ts.tainted[lk]
+	ts.tainted[lk] = true
+	if ts.parents[lk] == nil {
+		ts.parents[lk] = make(map[taintKey]bool)
+	}
+	for _, k := range keys {
+		if k != lk && !ts.parents[lk][k] {
+			ts.parents[lk][k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lhsKey resolves an assignment target to a key: an identifier, or a field
+// selector on a resolvable base.
+func (ts *taintScope) lhsKey(e ast.Expr) (taintKey, bool) {
+	info := ts.pkg.Info
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if x.Name == "_" {
+			return taintKey{}, false
+		}
+		if o := objOf(info, x); o != nil {
+			return taintKey{base: o}, true
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if base := rootIdent(x.X); base != nil {
+				if bo := objOf(info, base); bo != nil {
+					return taintKey{base: bo, field: sel.Obj()}, true
+				}
+			}
+		}
+	case *ast.StarExpr:
+		return ts.lhsKey(x.X)
+	}
+	return taintKey{}, false
+}
+
+// exprKeys collects the tainted keys an expression mentions. Call results
+// are a trust boundary (the callee is audited via its summary), so calls
+// other than conversions contribute nothing.
+func (ts *taintScope) exprKeys(e ast.Expr) []taintKey {
+	if e == nil {
+		return nil
+	}
+	info := ts.pkg.Info
+	var out []taintKey
+	seen := make(map[taintKey]bool)
+	add := func(k taintKey) {
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				return true // conversion: taint flows through
+			}
+			return false // call result: sanitized boundary
+		case *ast.SelectorExpr:
+			if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+				if base := rootIdent(x.X); base != nil {
+					if bo := objOf(info, base); bo != nil {
+						k := taintKey{base: bo, field: sel.Obj()}
+						if ts.tainted[k] || ts.tainted[taintKey{base: bo}] {
+							add(k)
+						}
+						return false
+					}
+				}
+			}
+		case *ast.Ident:
+			if o := objOf(info, x); o != nil && ts.tainted[taintKey{base: o}] {
+				add(taintKey{base: o})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// keyOf resolves an expression (through parens and conversions) to exactly
+// one key, if it is a plain variable or field reference.
+func (ts *taintScope) keyOf(e ast.Expr) (taintKey, bool) {
+	info := ts.pkg.Info
+	switch x := ts.stripConv(e).(type) {
+	case *ast.Ident:
+		if o := objOf(info, x); o != nil {
+			return taintKey{base: o}, true
+		}
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil && sel.Kind() == types.FieldVal {
+			if base := rootIdent(x.X); base != nil {
+				if bo := objOf(info, base); bo != nil {
+					return taintKey{base: bo, field: sel.Obj()}, true
+				}
+			}
+		}
+	}
+	return taintKey{}, false
+}
+
+// stripConv peels parentheses and type conversions.
+func (ts *taintScope) stripConv(e ast.Expr) ast.Expr {
+	info := ts.pkg.Info
+	for {
+		e = ast.Unparen(e)
+		if c, ok := e.(*ast.CallExpr); ok && len(c.Args) == 1 {
+			if tv, ok := info.Types[c.Fun]; ok && tv.IsType() {
+				e = c.Args[0]
+				continue
+			}
+		}
+		return e
+	}
+}
+
+// keyFamily is k plus every key its taint transitively flowed from: a
+// guard on any family member guards k, and a source re-assignment to any
+// member kills it. A field key also carries its bare base (h.N carries
+// h), so re-decoding the whole header invalidates per-field guards.
+func (ts *taintScope) keyFamily(k taintKey) map[taintKey]bool {
+	fam := make(map[taintKey]bool)
+	var add func(taintKey)
+	add = func(k taintKey) {
+		if fam[k] {
+			return
+		}
+		fam[k] = true
+		if k.field != nil {
+			add(taintKey{base: k.base})
+		}
+		for p := range ts.parents[k] {
+			add(p)
+		}
+	}
+	add(k)
+	return fam
+}
+
+func isCmpOp(op token.Token) bool {
+	switch op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ:
+		return true
+	}
+	return false
+}
+
+// isZeroConst reports whether e is the constant 0 — a comparison against
+// it never bounds a size from above, so it is not a guard.
+func (ts *taintScope) isZeroConst(e ast.Expr) bool {
+	tv, ok := ts.pkg.Info.Types[ast.Unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Uint64Val(constant.ToInt(tv.Value))
+	return ok && v == 0
+}
+
+// condHasGuard reports whether cond contains a comparison between a family
+// member and a fully-trusted expression.
+func (ts *taintScope) condHasGuard(cond ast.Expr, fam map[taintKey]bool) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isCmpOp(be.Op) {
+			return true
+		}
+		l, r := ts.exprKeys(be.X), ts.exprKeys(be.Y)
+		switch {
+		case mentionsFam(l, fam) && len(r) == 0 && !ts.isZeroConst(be.Y):
+			found = true
+		case mentionsFam(r, fam) && len(l) == 0 && !ts.isZeroConst(be.X):
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func mentionsFam(keys []taintKey, fam map[taintKey]bool) bool {
+	for _, k := range keys {
+		if fam[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// guardShapeOK accepts a guard in three shapes: a branch that terminates
+// control flow (reject), the sink inside a branch (use-inside-check), or a
+// branch re-binding the value to a trusted one (clamp).
+func (ts *taintScope) guardShapeOK(ifs *ast.IfStmt, sink ast.Node, fam map[taintKey]bool) bool {
+	if nodeWithin(ifs.Body, sink) {
+		return true
+	}
+	if ifs.Else != nil && nodeWithin(ifs.Else, sink) {
+		return true
+	}
+	if blockTerminates(ifs.Body) {
+		return true
+	}
+	if ifs.Else != nil && stmtTerminates(ifs.Else) {
+		return true
+	}
+	if ts.branchClamps(ifs.Body, fam) {
+		return true
+	}
+	if bs, ok := ifs.Else.(*ast.BlockStmt); ok && ts.branchClamps(bs, fam) {
+		return true
+	}
+	return false
+}
+
+func nodeWithin(outer, n ast.Node) bool {
+	return outer != nil && n != nil && outer.Pos() <= n.Pos() && n.End() <= outer.End()
+}
+
+func blockTerminates(b *ast.BlockStmt) bool {
+	if b == nil || len(b.List) == 0 {
+		return false
+	}
+	return stmtTerminates(b.List[len(b.List)-1])
+}
+
+func stmtTerminates(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.BranchStmt:
+		return s.Tok != token.FALLTHROUGH
+	case *ast.ExprStmt:
+		return isPanicCall(s.X)
+	case *ast.BlockStmt:
+		return blockTerminates(s)
+	case *ast.IfStmt:
+		return blockTerminates(s.Body) && s.Else != nil && stmtTerminates(s.Else)
+	}
+	return false
+}
+
+// branchClamps reports whether the branch re-binds a family member to a
+// fully-trusted value (if c > max { c = max }).
+func (ts *taintScope) branchClamps(b *ast.BlockStmt, fam map[taintKey]bool) bool {
+	if b == nil {
+		return false
+	}
+	clamps := false
+	walkNoLits(b, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			lk, ok := ts.lhsKey(as.Lhs[i])
+			if ok && fam[lk] && len(ts.exprKeys(as.Rhs[i])) == 0 {
+				clamps = true
+			}
+		}
+		return !clamps
+	})
+	return clamps
+}
+
+// guardedAt reports whether every backward path from sink passes a
+// dominating guard for k before any statement that (re)introduces the
+// untrusted value.
+func (ts *taintScope) guardedAt(sink ast.Node, k taintKey) bool {
+	fam := ts.keyFamily(k)
+	return ts.g.precededOnAllPaths(sink, func(m ast.Node) pathMark {
+		if ifs := ts.condOf[m]; ifs != nil {
+			if ts.condHasGuard(ifs.Cond, fam) && ts.guardShapeOK(ifs, sink, fam) {
+				return markSatisfy
+			}
+			return markNone
+		}
+		if as, ok := m.(*ast.AssignStmt); ok {
+			for _, sk := range ts.sourceAssigns[as] {
+				if fam[sk] {
+					return markKill
+				}
+			}
+			if len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Lhs {
+					lk, ok := ts.lhsKey(as.Lhs[i])
+					if ok && fam[lk] && len(ts.exprKeys(as.Rhs[i])) == 0 {
+						return markSatisfy // re-bound to a trusted value
+					}
+				}
+			}
+		}
+		return markNone
+	})
+}
+
+// ---- integer range domain ----
+
+// valRange is a saturating upper bound for an unsigned-style evaluation;
+// lower bounds are not tracked (sizes are non-negative by assumption).
+// over means the mathematical value may exceed even MaxUint64 — the
+// saturation bit that distinguishes a genuine 2^64-1 bound from an
+// overflowed product of two full-range factors.
+type valRange struct {
+	hi      uint64
+	over    bool
+	tainted bool
+	key     taintKey // representative tainted key, for diagnostics
+}
+
+func satMul(a, b uint64) (uint64, bool) {
+	if a == 0 || b == 0 {
+		return 0, false
+	}
+	if a > math.MaxUint64/b {
+		return math.MaxUint64, true
+	}
+	return a * b, false
+}
+
+func satAdd(a, b uint64) (uint64, bool) {
+	if a > math.MaxUint64-b {
+		return math.MaxUint64, true
+	}
+	return a + b, false
+}
+
+// typeMaxOf is the largest value the type can hold under the non-negative
+// assumption: unsigned types their full range, signed types their positive
+// half. int and uint are treated as 64 bits wide (the servers this repo
+// targets; documented in DESIGN.md §7).
+func typeMaxOf(t types.Type) uint64 {
+	if t == nil {
+		return math.MaxUint64
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return math.MaxUint64
+	}
+	switch b.Kind() {
+	case types.Int8:
+		return math.MaxInt8
+	case types.Int16:
+		return math.MaxInt16
+	case types.Int32:
+		return math.MaxInt32
+	case types.Int, types.Int64, types.UntypedInt:
+		return math.MaxInt64
+	case types.Uint8:
+		return math.MaxUint8
+	case types.Uint16:
+		return math.MaxUint16
+	case types.Uint32:
+		return math.MaxUint32
+	}
+	return math.MaxUint64
+}
+
+func isSignedType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Info()&types.IsUnsigned == 0
+}
+
+// rangeOf evaluates the upper bound of e at program point `at`, narrowing
+// tainted variables by their dominating guards.
+func (ts *taintScope) rangeOf(e ast.Expr, at ast.Node) valRange {
+	info := ts.pkg.Info
+	e = ast.Unparen(e)
+	if tv, ok := info.Types[e]; ok && tv.Value != nil {
+		return valRange{hi: constUpper(tv.Value)}
+	}
+	switch x := e.(type) {
+	case *ast.BinaryExpr:
+		l, r := ts.rangeOf(x.X, at), ts.rangeOf(x.Y, at)
+		out := valRange{tainted: l.tainted || r.tainted, hi: typeMaxOf(info.TypeOf(e))}
+		out.key = l.key
+		if !l.tainted {
+			out.key = r.key
+		}
+		switch x.Op {
+		case token.MUL:
+			if hi, ok := ts.productBound(x, at); ok {
+				out.hi = hi
+			} else {
+				out.hi, out.over = satMul(l.hi, r.hi)
+				out.over = out.over || l.over || r.over
+			}
+		case token.ADD:
+			out.hi, out.over = satAdd(l.hi, r.hi)
+			out.over = out.over || l.over || r.over
+		case token.QUO, token.SHR:
+			out.hi, out.over = l.hi, l.over
+		case token.REM:
+			if r.hi > 0 && r.hi < math.MaxUint64 && r.hi-1 < l.hi {
+				out.hi = r.hi - 1
+			} else {
+				out.hi, out.over = l.hi, l.over
+			}
+		case token.AND:
+			out.hi = min(l.hi, r.hi)
+		}
+		return out
+	case *ast.CallExpr:
+		if tv, ok := info.Types[x.Fun]; ok && tv.IsType() && len(x.Args) == 1 {
+			in := ts.rangeOf(x.Args[0], at)
+			if tm := typeMaxOf(info.TypeOf(e)); in.over || in.hi > tm {
+				in.hi = tm // wrapped or truncated: anything up to the target max
+			}
+			in.over = false // the converted value fits its own type
+			return in
+		}
+		return valRange{hi: typeMaxOf(info.TypeOf(e))} // trusted call result
+	case *ast.Ident, *ast.SelectorExpr:
+		if k, ok := ts.keyOf(e); ok && (ts.tainted[k] || ts.tainted[taintKey{base: k.base}]) {
+			hi := min(ts.boundFor(k, at), typeMaxOf(info.TypeOf(e)))
+			return valRange{hi: hi, tainted: true, key: k}
+		}
+	}
+	out := valRange{hi: typeMaxOf(info.TypeOf(e))}
+	if ks := ts.exprKeys(e); len(ks) > 0 {
+		out.tainted = true
+		out.key = ks[0]
+	}
+	return out
+}
+
+// constUpper extracts a constant's value as an upper bound (0 for negative
+// or non-integer constants — harmless, since negative bounds are skipped
+// by the zero-compare rule).
+func constUpper(v constant.Value) uint64 {
+	u, ok := constant.Uint64Val(constant.ToInt(v))
+	if !ok {
+		if constant.Sign(constant.ToInt(v)) > 0 {
+			return math.MaxUint64
+		}
+		return 0
+	}
+	return u
+}
+
+// boundFor is the tightest dominating guard bound on exactly key k at
+// point `at` (MaxUint64 when unguarded).
+func (ts *taintScope) boundFor(k taintKey, at ast.Node) uint64 {
+	best := uint64(math.MaxUint64)
+	fam := ts.keyFamily(k)
+	for _, ifs := range ts.ifs {
+		b, ok := ts.condBound(ifs.Cond, k, at)
+		if !ok || b >= best {
+			continue
+		}
+		if !ts.guardShapeOK(ifs, at, fam) {
+			continue
+		}
+		if ts.dominates(ifs, at, fam) {
+			best = b
+		}
+	}
+	return best
+}
+
+// condBound extracts the bound value from a comparison of exactly k
+// against a trusted expression inside cond. The comparison operator is
+// not interpreted (a rejecting `k > b` and an enclosing `k < b` both
+// leave k ≤ b on the surviving path); zero bounds are skipped.
+func (ts *taintScope) condBound(cond ast.Expr, k taintKey, at ast.Node) (uint64, bool) {
+	var bound uint64
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isCmpOp(be.Op) {
+			return true
+		}
+		side, other := be.X, be.Y
+		sk, ok := ts.keyOf(side)
+		if !ok || sk != k {
+			side, other = be.Y, be.X
+			if sk, ok = ts.keyOf(side); !ok || sk != k {
+				return true
+			}
+		}
+		if len(ts.exprKeys(other)) != 0 {
+			return true
+		}
+		if b := ts.rangeOf(other, at).hi; b > 0 {
+			bound, found = b, true
+		}
+		return !found
+	})
+	return bound, found
+}
+
+// dominates reports whether the guard's condition lies on every backward
+// path from `at`, with no re-assignment of a family member in between.
+func (ts *taintScope) dominates(ifs *ast.IfStmt, at ast.Node, fam map[taintKey]bool) bool {
+	return ts.g.precededOnAllPaths(at, func(m ast.Node) pathMark {
+		if m == ifs.Cond {
+			return markSatisfy
+		}
+		if as, ok := m.(*ast.AssignStmt); ok {
+			for _, sk := range ts.sourceAssigns[as] {
+				if fam[sk] {
+					return markKill
+				}
+			}
+			for _, l := range as.Lhs {
+				if lk, ok := ts.lhsKey(l); ok && fam[lk] {
+					return markKill
+				}
+			}
+		}
+		return markNone
+	})
+}
+
+// productBound recognizes the quotient-form overflow guard: a dominating
+// comparison `x > C/y` (or `y > C/x`) bounds the product x*y by C without
+// an unchecked multiplication.
+func (ts *taintScope) productBound(mul *ast.BinaryExpr, at ast.Node) (uint64, bool) {
+	kx, okx := ts.keyOf(mul.X)
+	ky, oky := ts.keyOf(mul.Y)
+	if !okx || !oky {
+		return 0, false
+	}
+	fam := ts.keyFamily(kx)
+	for k := range ts.keyFamily(ky) {
+		fam[k] = true
+	}
+	for _, ifs := range ts.ifs {
+		c, ok := ts.quotientCmp(ifs.Cond, kx, ky, at)
+		if !ok {
+			c, ok = ts.quotientCmp(ifs.Cond, ky, kx, at)
+		}
+		if !ok {
+			continue
+		}
+		if ts.guardShapeOK(ifs, at, fam) && ts.dominates(ifs, at, fam) {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// quotientCmp finds a comparison of kx against `C / ky` inside cond,
+// returning the trusted numerator bound C.
+func (ts *taintScope) quotientCmp(cond ast.Expr, kx, ky taintKey, at ast.Node) (uint64, bool) {
+	var bound uint64
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || !isCmpOp(be.Op) {
+			return true
+		}
+		for _, sides := range [2][2]ast.Expr{{be.X, be.Y}, {be.Y, be.X}} {
+			if sk, ok := ts.keyOf(sides[0]); !ok || sk != kx {
+				continue
+			}
+			q, ok := ts.stripConv(sides[1]).(*ast.BinaryExpr)
+			if !ok || q.Op != token.QUO {
+				continue
+			}
+			dk, ok := ts.keyOf(q.Y)
+			if !ok || dk != ky || len(ts.exprKeys(q.X)) != 0 {
+				continue
+			}
+			if c := ts.rangeOf(q.X, at).hi; c > 0 && c < math.MaxUint64 {
+				bound, found = c, true
+			}
+		}
+		return !found
+	})
+	return bound, found
+}
+
+// ---- sink discovery ----
+
+// findSinks walks the scope and returns every unguarded tainted flow into
+// a sink, both direct (make sizes, indices, reslices, loop bounds, io
+// lengths, wrapping products, narrowing conversions) and through calls to
+// module-local functions whose summaries expose parameter sinks.
+func (ts *taintScope) findSinks(t *taintIPA) []taintSink {
+	info := ts.pkg.Info
+	var out []taintSink
+	report := func(kind sinkKind, e ast.Expr) {
+		if e == nil {
+			return
+		}
+		node := registeredNodeFor(ts.g, e)
+		if node == nil {
+			return
+		}
+		for _, k := range ts.exprKeys(e) {
+			if !ts.guardedAt(node, k) {
+				out = append(out, taintSink{kind: kind, pos: e.Pos(), key: k, expr: e})
+				return
+			}
+		}
+	}
+	// A chained product a*b*c is one hazard, not two: rangeOf already
+	// folds the nested factors into the outermost multiplication, so the
+	// inner MUL nodes it covers are skipped.
+	coveredMul := make(map[*ast.BinaryExpr]bool)
+	walkNoLits(ts.scope.body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if tv, ok := info.Types[x.Fun]; ok && tv.IsType() {
+				ts.convSink(x, &out)
+				return true
+			}
+			if b := calleeBuiltin(info, x); b != "" {
+				if b == "make" {
+					for _, a := range x.Args[1:] {
+						report(sinkMakeSize, a)
+					}
+				}
+				return true
+			}
+			if f := calleeFunc(info, x); f != nil && pkgPathOf(f) == "io" {
+				switch {
+				case f.Name() == "CopyN" && len(x.Args) == 3:
+					report(sinkIOLen, x.Args[2])
+				case f.Name() == "LimitReader" && len(x.Args) == 2:
+					report(sinkIOLen, x.Args[1])
+				}
+				return true
+			}
+			ts.callSiteSinks(t, x, &out)
+		case *ast.BinaryExpr:
+			if x.Op == token.MUL && !coveredMul[x] {
+				ast.Inspect(x, func(m ast.Node) bool {
+					if mm, ok := m.(*ast.BinaryExpr); ok && mm != x && mm.Op == token.MUL {
+						coveredMul[mm] = true
+					}
+					return true
+				})
+				ts.mulSink(x, &out)
+			}
+		case *ast.IndexExpr:
+			if isSequenceType(info.TypeOf(x.X)) {
+				report(sinkIndex, x.Index)
+			}
+		case *ast.SliceExpr:
+			for _, b := range []ast.Expr{x.Low, x.High, x.Max} {
+				if b != nil {
+					report(sinkReslice, b)
+				}
+			}
+		case *ast.ForStmt:
+			if x.Cond != nil {
+				report(sinkLoopBound, x.Cond)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isSequenceType reports slice/array/string (the index-by-size shapes;
+// maps index by key, not position).
+func isSequenceType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice, *types.Array:
+		return true
+	case *types.Basic:
+		return u.Info()&types.IsString != 0
+	}
+	return false
+}
+
+// convSink flags a tainted integer conversion whose operand can exceed
+// the target type's range at this point.
+func (ts *taintScope) convSink(call *ast.CallExpr, out *[]taintSink) {
+	info := ts.pkg.Info
+	if len(call.Args) != 1 {
+		return
+	}
+	tgt := info.TypeOf(call)
+	if !isIntegerType(tgt) || !isIntegerType(info.TypeOf(call.Args[0])) {
+		return
+	}
+	node := registeredNodeFor(ts.g, call)
+	if node == nil {
+		return
+	}
+	r := ts.rangeOf(call.Args[0], node)
+	if !r.tainted || (!r.over && r.hi <= typeMaxOf(tgt)) {
+		return
+	}
+	kind := sinkConvTruncate
+	if isSignedType(tgt) {
+		kind = sinkConvNegative
+	}
+	*out = append(*out, taintSink{kind: kind, pos: call.Pos(), key: r.key, expr: call})
+}
+
+// mulSink flags an outermost tainted multiplication whose saturating
+// product exceeds its type's range at this point.
+func (ts *taintScope) mulSink(mul *ast.BinaryExpr, out *[]taintSink) {
+	info := ts.pkg.Info
+	if !isIntegerType(info.TypeOf(mul)) {
+		return
+	}
+	node := registeredNodeFor(ts.g, mul)
+	if node == nil {
+		return
+	}
+	r := ts.rangeOf(mul, node)
+	if !r.tainted || (!r.over && r.hi <= typeMaxOf(info.TypeOf(mul))) {
+		return
+	}
+	// Report the outermost multiplication only; the recursive rangeOf
+	// already folded the inner factors in.
+	*out = append(*out, taintSink{kind: sinkMulWrap, pos: mul.Pos(), key: r.key, expr: mul})
+}
+
+// ---- interprocedural summaries ----
+
+// taintParamSink records that a parameter of a function reaches a sink
+// with no dominating guard inside the callee: the caller must guard the
+// argument.
+type taintParamSink struct {
+	param int    // 0-based; -1 is the method receiver
+	field string // "" for scalar parameters; field name for struct flows
+	kind  sinkKind
+	via   string // display name of a deeper callee, "" for direct sinks
+}
+
+type taintSummary struct {
+	sinks []taintParamSink
+}
+
+// taintIPA bundles the module view with the summary cache, one per root
+// package (mirroring the other interprocedural analyzers).
+type taintIPA struct {
+	view *ipaView
+	sums *summarizer[taintSummary]
+}
+
+var taintIPACache = make(map[*Package]*taintIPA)
+
+func taintIPAFor(pkg *Package) *taintIPA {
+	if t, ok := taintIPACache[pkg]; ok {
+		return t
+	}
+	t := &taintIPA{view: newIPAView(pkg)}
+	t.sums = newSummarizer(func(def *funcDef) taintSummary {
+		return computeTaintSummary(t, def)
+	})
+	taintIPACache[pkg] = t
+	return t
+}
+
+// paramObjs lists a declaration's parameter objects with their positions.
+// The method receiver is deliberately NOT seeded: in this codebase the
+// receiver is long-lived trusted state (server, conn, client), and
+// treating it as untrusted would mark every config limit read off it
+// (s.cfg.MaxN) as tainted, disqualifying the very guards the analysis
+// looks for. A method that sinks untrusted fields of its own receiver is
+// therefore invisible to summaries — a documented false negative.
+func paramObjs(def *funcDef) (seeds []types.Object, index map[types.Object]int) {
+	index = make(map[types.Object]int)
+	pos := 0
+	if def.decl.Type.Params != nil {
+		for _, f := range def.decl.Type.Params.List {
+			if len(f.Names) == 0 {
+				pos++
+				continue
+			}
+			for _, nm := range f.Names {
+				if o := def.pkg.Info.Defs[nm]; o != nil {
+					seeds = append(seeds, o)
+					index[o] = pos
+				}
+				pos++
+			}
+		}
+	}
+	return seeds, index
+}
+
+// computeTaintSummary analyzes def with every parameter treated as a
+// hypothetical source and records which parameters reach unguarded sinks.
+func computeTaintSummary(t *taintIPA, def *funcDef) taintSummary {
+	if def.decl == nil || def.decl.Body == nil {
+		return taintSummary{}
+	}
+	seeds, index := paramObjs(def)
+	if len(seeds) == 0 {
+		return taintSummary{}
+	}
+	scope := funcScope{name: def.decl.Name.Name, body: def.decl.Body}
+	ts := newTaintScope(def.pkg, scope, seeds)
+	if ts == nil {
+		return taintSummary{}
+	}
+	var sum taintSummary
+	seen := make(map[taintParamSink]bool)
+	for _, s := range ts.findSinks(t) {
+		for k := range ts.keyFamily(s.key) {
+			pi, ok := index[k.base]
+			if !ok {
+				continue
+			}
+			ps := taintParamSink{param: pi, kind: s.kind, via: s.via}
+			if k.field != nil {
+				ps.field = k.field.Name()
+			}
+			if !seen[ps] {
+				seen[ps] = true
+				sum.sinks = append(sum.sinks, ps)
+			}
+		}
+	}
+	return sum
+}
+
+// callSiteSinks checks a call against the callee's parameter-sink
+// summary: a tainted, unguarded argument feeding a summarized sink is a
+// finding at the call site (a guard in this caller absolves it).
+func (ts *taintScope) callSiteSinks(t *taintIPA, call *ast.CallExpr, out *[]taintSink) {
+	if t == nil {
+		return
+	}
+	// Cheap pre-filter: a call with no tainted operand needs no summary.
+	anyTainted := len(ts.exprKeys(call.Fun)) > 0
+	for _, a := range call.Args {
+		if anyTainted {
+			break
+		}
+		anyTainted = len(ts.exprKeys(a)) > 0
+	}
+	if !anyTainted {
+		return
+	}
+	node := registeredNodeFor(ts.g, call)
+	if node == nil {
+		return
+	}
+	for _, cr := range t.view.resolveCall(ts.pkg, call) {
+		if cr.viaIface || cr.fn == nil {
+			continue // interface dispatch and literals: opaque to summaries
+		}
+		def := t.view.def(cr.fn)
+		if def == nil {
+			continue
+		}
+		for _, ps := range t.sums.of(def).sinks {
+			arg := argExprFor(call, cr.fn, ps.param)
+			if arg == nil {
+				continue
+			}
+			// The argument is flagged only when none of its contributing
+			// keys is guarded: a value assembled from several bounded
+			// ingredients is considered bounded.
+			keys := ts.refineKeys(arg, ps.field)
+			guarded := len(keys) == 0
+			for _, k := range keys {
+				if ts.guardedAt(node, k) {
+					guarded = true
+					break
+				}
+			}
+			if !guarded {
+				*out = append(*out, taintSink{
+					kind: ps.kind, pos: arg.Pos(), key: keys[0], expr: arg,
+					via: funcDisplayName(cr.fn),
+				})
+			}
+		}
+	}
+}
+
+// argExprFor maps a summarized parameter position to the call-site
+// expression feeding it (-1: the method receiver).
+func argExprFor(call *ast.CallExpr, fn *types.Func, param int) ast.Expr {
+	if param == -1 {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			return sel.X
+		}
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || param < 0 || param >= len(call.Args) {
+		return nil
+	}
+	if sig.Variadic() && param >= sig.Params().Len()-1 {
+		return nil // variadic spread: positions are ambiguous
+	}
+	return call.Args[param]
+}
+
+// refineKeys narrows an argument's tainted keys to the specific field the
+// callee sinks, when the argument is a plain (possibly &-taken) variable.
+func (ts *taintScope) refineKeys(arg ast.Expr, field string) []taintKey {
+	keys := ts.exprKeys(arg)
+	if field == "" || len(keys) == 0 {
+		return keys
+	}
+	e := ast.Unparen(arg)
+	if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		e = ast.Unparen(u.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		if bo := objOf(ts.pkg.Info, id); bo != nil {
+			if obj, _, _ := types.LookupFieldOrMethod(bo.Type(), true, bo.Pkg(), field); obj != nil {
+				if v, ok := obj.(*types.Var); ok && v.IsField() {
+					return []taintKey{{base: bo, field: v}}
+				}
+			}
+		}
+	}
+	return keys
+}
+
+// ---- package-level sink cache (shared by taintflow and intflow) ----
+
+// taintSinkCache memoizes the sink sweep per package so the two analyzers
+// built on it do the dataflow once.
+var taintSinkCache = make(map[*Package][]taintSink)
+
+// packageTaintSinks runs the shared sweep over every function of pkg whose
+// real sources (wire.ReadHeader results) taint anything, returning all
+// unguarded sinks of both kinds.
+func packageTaintSinks(pkg *Package, t *taintIPA) []taintSink {
+	if s, ok := taintSinkCache[pkg]; ok {
+		return s
+	}
+	var out []taintSink
+	for _, f := range pkg.Files {
+		for _, scope := range funcBodies(f) {
+			ts := newTaintScope(pkg, scope, nil)
+			if ts == nil {
+				continue
+			}
+			out = append(out, ts.findSinks(t)...)
+		}
+	}
+	taintSinkCache[pkg] = out
+	return out
+}
+
+// ---- //soilint:taint checked directive ----
+
+// taintDirective escapes a reviewed taintflow sink. Grammar:
+// "//soilint:taint checked <reason>" on the sink's line or the line above;
+// the reason is mandatory.
+const taintDirective = "soilint:taint"
+
+type taintCheckedDirective struct {
+	pos  token.Pos
+	used bool
+}
+
+// taintChecked indexes the //soilint:taint checked directives of one
+// package by file and line.
+type taintChecked struct {
+	byLine map[string]map[int]*taintCheckedDirective
+	all    []*taintCheckedDirective
+}
+
+// covers reports whether a directive covers pos (same line, or the line
+// above), marking it used.
+func (t *taintChecked) covers(fset *token.FileSet, pos token.Pos) bool {
+	position := fset.Position(pos)
+	for _, line := range []int{position.Line, position.Line - 1} {
+		if d := t.byLine[position.Filename][line]; d != nil {
+			d.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectTaintChecked scans the package comments for //soilint:taint
+// directives, returning the index plus the positions of malformed ones.
+func collectTaintChecked(pkg *Package) (*taintChecked, []token.Pos) {
+	t := &taintChecked{byLine: make(map[string]map[int]*taintCheckedDirective)}
+	var malformed []token.Pos
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"), "*/"))
+				rest, ok := strings.CutPrefix(text, taintDirective)
+				if !ok {
+					continue
+				}
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 || fields[0] != "checked" {
+					malformed = append(malformed, c.Pos())
+					continue
+				}
+				d := &taintCheckedDirective{pos: c.Pos()}
+				t.all = append(t.all, d)
+				position := pkg.Fset.Position(c.Pos())
+				if t.byLine[position.Filename] == nil {
+					t.byLine[position.Filename] = make(map[int]*taintCheckedDirective)
+				}
+				t.byLine[position.Filename][position.Line] = d
+			}
+		}
+	}
+	return t, malformed
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/types"
+	"math"
+	"testing"
+)
+
+// TestSaturatingAlgebra pins the overflow bit the intflow domain hangs on:
+// a saturated result must be distinguishable from a genuine MaxUint64.
+func TestSaturatingAlgebra(t *testing.T) {
+	if v, over := satMul(1<<32, 1<<31); v != 1<<63 || over {
+		t.Errorf("satMul(2^32, 2^31) = %d, %v; want 2^63, false", v, over)
+	}
+	if v, over := satMul(1<<32, 1<<32); v != math.MaxUint64 || !over {
+		t.Errorf("satMul(2^32, 2^32) = %d, %v; want MaxUint64, true", v, over)
+	}
+	if v, over := satMul(0, math.MaxUint64); v != 0 || over {
+		t.Errorf("satMul(0, MaxUint64) = %d, %v; want 0, false", v, over)
+	}
+	if v, over := satMul(math.MaxUint64, 1); v != math.MaxUint64 || over {
+		t.Errorf("satMul(MaxUint64, 1) = %d, %v; want MaxUint64, false", v, over)
+	}
+	if v, over := satAdd(math.MaxUint64-1, 1); v != math.MaxUint64 || over {
+		t.Errorf("satAdd(MaxUint64-1, 1) = %d, %v; want MaxUint64, false", v, over)
+	}
+	if v, over := satAdd(math.MaxUint64, 1); v != math.MaxUint64 || !over {
+		t.Errorf("satAdd(MaxUint64, 1) = %d, %v; want MaxUint64, true", v, over)
+	}
+}
+
+// TestTypeMaxOf pins the non-negative upper bound per basic kind: signed
+// types their positive half, unsigned their full range, int treated as 64
+// bits wide.
+func TestTypeMaxOf(t *testing.T) {
+	cases := []struct {
+		kind types.BasicKind
+		want uint64
+	}{
+		{types.Int8, math.MaxInt8},
+		{types.Int16, math.MaxInt16},
+		{types.Int32, math.MaxInt32},
+		{types.Int64, math.MaxInt64},
+		{types.Int, math.MaxInt64},
+		{types.Uint8, math.MaxUint8},
+		{types.Uint16, math.MaxUint16},
+		{types.Uint32, math.MaxUint32},
+		{types.Uint64, math.MaxUint64},
+		{types.Uint, math.MaxUint64},
+	}
+	for _, c := range cases {
+		got := typeMaxOf(types.Typ[c.kind])
+		if got != c.want {
+			t.Errorf("typeMaxOf(%v) = %d, want %d", types.Typ[c.kind], got, c.want)
+		}
+	}
+	if got := typeMaxOf(nil); got != math.MaxUint64 {
+		t.Errorf("typeMaxOf(nil) = %d, want MaxUint64", got)
+	}
+	if got := typeMaxOf(types.NewSlice(types.Typ[types.Byte])); got != math.MaxUint64 {
+		t.Errorf("typeMaxOf(non-basic) = %d, want MaxUint64", got)
+	}
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Intflow is taintflow's arithmetic companion: it reports the places
+// where size algebra on untrusted wire values breaks *before* the guard
+// that is supposed to bound it — a product like
+// h.N*uint64(h.Count)*BytesPerElem that wraps modulo 2^64 so the
+// equality check downstream compares garbage, or an int(h.N) conversion
+// that goes negative and slides under a later `n > MaxN` comparison.
+// The saturating range domain in guard.go evaluates each multiplication
+// and integer conversion at its program point, narrowing operands by
+// their dominating guards (including the quotient-form
+// `n > limit/count` idiom, which bounds the product without an
+// unchecked multiply); anything whose upper bound still exceeds the
+// result type's range is a finding.
+
+// IntFlow reports size arithmetic on untrusted wire values that can wrap
+// or go negative before any bound check.
+var IntFlow = &Analyzer{
+	Name: "intflow",
+	Doc:  "size arithmetic on untrusted wire values must not wrap or go negative before its guard",
+	Run:  runIntFlow,
+}
+
+func runIntFlow(pass *Pass) {
+	t := taintIPAFor(pass.Pkg)
+	for _, s := range packageTaintSinks(pass.Pkg, t) {
+		if s.kind.taintKind() {
+			continue
+		}
+		if s.via != "" {
+			pass.Reportf(s.pos, "untrusted wire value '%s' is passed to %s, where it %s before any bound check (guard it before the call)", keyName(s.key), s.via, s.kind.intPhrase())
+			continue
+		}
+		switch s.kind {
+		case sinkMulWrap:
+			pass.Reportf(s.pos, "size product '%s' on untrusted wire input can wrap %s before any bound check (use wire.CheckedSize or a quotient-form guard)", types.ExprString(s.expr), typeNameOf(pass.Pkg, s.expr))
+		case sinkConvNegative:
+			pass.Reportf(s.pos, "conversion '%s' of untrusted wire value '%s' can go negative before any bound check (guard the value against a trusted limit first)", types.ExprString(s.expr), keyName(s.key))
+		case sinkConvTruncate:
+			pass.Reportf(s.pos, "conversion '%s' of untrusted wire value '%s' can truncate before any bound check (guard the value against a trusted limit first)", types.ExprString(s.expr), keyName(s.key))
+		}
+	}
+}
+
+// typeNameOf renders the expression's type for diagnostics ("uint64").
+func typeNameOf(pkg *Package, e ast.Expr) string {
+	t := pkg.Info.TypeOf(e)
+	if t == nil {
+		return "integer"
+	}
+	return types.TypeString(t, types.RelativeTo(pkg.Types))
+}

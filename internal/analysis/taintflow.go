@@ -1,0 +1,53 @@
+package analysis
+
+// Taintflow enforces the trust boundary around the wire protocol: every
+// value decoded from a frame header by wire.ReadHeader — and everything
+// data-flowed from one — must pass a dominating comparison against a
+// trusted bound before it sizes an allocation, indexes or reslices a
+// buffer, bounds a loop, or limits an io read. The guard lattice and the
+// interprocedural parameter-sink summaries live in guard.go; guards
+// established in a caller absolve the callee, and an unguarded argument
+// to a function that sinks its parameter is reported at the call site.
+//
+// A reviewed sink that is safe for reasons the lattice cannot see is
+// escaped with
+//
+//	//soilint:taint checked <reason>
+//
+// on the sink's line or the line above (the reason is mandatory, matching
+// the pool-transfer directive); a directive that covers no sink is itself
+// a finding, so stale escapes cannot linger.
+
+// TaintFlow reports untrusted wire-header values reaching sizing sinks
+// with no dominating bound check.
+var TaintFlow = &Analyzer{
+	Name: "taintflow",
+	Doc:  "untrusted wire-header values must pass a dominating bound check before sizing sinks",
+	Run:  runTaintFlow,
+}
+
+func runTaintFlow(pass *Pass) {
+	t := taintIPAFor(pass.Pkg)
+	checked, malformed := collectTaintChecked(pass.Pkg)
+	for _, pos := range malformed {
+		pass.Reportf(pos, "malformed //soilint:taint directive: want 'checked <reason>'")
+	}
+	for _, s := range packageTaintSinks(pass.Pkg, t) {
+		if !s.kind.taintKind() {
+			continue
+		}
+		if checked.covers(pass.Pkg.Fset, s.pos) {
+			continue
+		}
+		if s.via != "" {
+			pass.Reportf(s.pos, "untrusted wire value '%s' is passed to %s, where it reaches %s with no dominating bound check (guard it before the call or annotate //soilint:taint checked)", keyName(s.key), s.via, s.kind.phrase())
+		} else {
+			pass.Reportf(s.pos, "untrusted wire value '%s' reaches %s with no dominating bound check (guard it against a trusted limit or annotate //soilint:taint checked)", keyName(s.key), s.kind.phrase())
+		}
+	}
+	for _, d := range checked.all {
+		if !d.used {
+			pass.Reportf(d.pos, "//soilint:taint checked directive does not cover any taintflow sink")
+		}
+	}
+}

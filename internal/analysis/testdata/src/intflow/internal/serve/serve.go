@@ -1,0 +1,81 @@
+// Package serve is the audited fixture for intflow: size arithmetic on
+// header fields decoded by the fixture-local wire.ReadHeader must not
+// wrap or go negative before the guard that is supposed to bound it.
+package serve
+
+import (
+	"soifft/internal/analysis/testdata/src/intflow/internal/wire"
+)
+
+// config mirrors the real server limits: trusted, operator-set bounds.
+type config struct {
+	MaxN int
+}
+
+// WrapProduct multiplies two full-range header fields before any check:
+// the equality downstream compares a product reduced modulo 2^64.
+func WrapProduct(r any) bool {
+	h, _ := wire.ReadHeader(r)
+	want := h.N * uint64(h.Count) * wire.BytesPerElem // finding: wraps uint64
+	return want == h.PayloadLen
+}
+
+// NegativeConv converts a full-range uint64 to int before the check: an
+// N at or above 2^63 goes negative and slides under the limit.
+func NegativeConv(r any, max int) []byte {
+	h, _ := wire.ReadHeader(r)
+	n := int(h.N) // finding: can go negative
+	if n > max {
+		return nil
+	}
+	return make([]byte, n)
+}
+
+// TruncConv narrows a full-range uint64 to uint32 with no prior bound.
+func TruncConv(r any) uint32 {
+	h, _ := wire.ReadHeader(r)
+	return uint32(h.N) // finding: can truncate
+}
+
+// GuardedConv bounds the value against a trusted int limit first: the
+// conversion cannot go negative.
+func GuardedConv(r any, cfg config) []byte {
+	h, _ := wire.ReadHeader(r)
+	if h.N > uint64(cfg.MaxN) {
+		return nil
+	}
+	return make([]byte, int(h.N)) // clean: bounded above by cfg.MaxN
+}
+
+// QuotientGuard is the overflow-check idiom wire.CheckedSize uses: the
+// dominating n > C/count comparison bounds the product at C with no
+// unchecked multiply.
+func QuotientGuard(r any) (int, bool) {
+	h, _ := wire.ReadHeader(r)
+	if h.Count == 0 {
+		return 0, false
+	}
+	if h.N > (1<<59)/uint64(h.Count) {
+		return 0, false
+	}
+	return int(h.N * uint64(h.Count)), true // clean: product bounded at 2^59
+}
+
+// byteLen multiplies its parameters with no internal bound: callers must
+// pre-check the product.
+func byteLen(n uint64, count uint32) uint64 {
+	return n * uint64(count) * wire.BytesPerElem
+}
+
+// CallWrap feeds unchecked header fields into byteLen: the finding lands
+// at the call site.
+func CallWrap(r any) uint64 {
+	h, _ := wire.ReadHeader(r)
+	return byteLen(h.N, h.Count) // finding: unguarded argument to a wrapping callee
+}
+
+// SuppressedWrap documents a reviewed wrap via the generic ignore.
+func SuppressedWrap(r any) uint64 {
+	h, _ := wire.ReadHeader(r)
+	return h.N * uint64(h.Count) //soilint:ignore intflow fixture: reviewed
+}

@@ -1,0 +1,117 @@
+// Package serve is the audited fixture for taintflow: header fields
+// decoded by the fixture-local wire.ReadHeader are untrusted, and every
+// sizing sink they reach must be dominated by a bound check.
+package serve
+
+import (
+	"errors"
+	"io"
+
+	"soifft/internal/analysis/testdata/src/taintflow/internal/wire"
+)
+
+var errTooBig = errors.New("too big")
+
+// config mirrors the real server limits: trusted, operator-set bounds.
+type config struct {
+	MaxN     int
+	MaxCount int
+}
+
+// Unguarded flows decoded header fields into each direct sink shape with
+// no bound check anywhere.
+func Unguarded(r io.Reader) {
+	h, _ := wire.ReadHeader(r)
+	buf := make([]byte, h.N) // finding: make size
+	_ = buf[h.Count]         // finding: slice index
+	_ = buf[:h.PayloadLen]   // finding: reslice bound
+	for i := uint64(0); i < h.N; i++ { // finding: loop bound
+		_ = i
+	}
+	_, _ = io.CopyN(io.Discard, r, int64(h.PayloadLen)) // finding: io read length
+}
+
+// Guarded rejects an oversized length before any sink: clean.
+func Guarded(r io.Reader, cfg config) ([]byte, error) {
+	h, _ := wire.ReadHeader(r)
+	if h.N > uint64(cfg.MaxN) {
+		return nil, errTooBig
+	}
+	b := make([]byte, h.N) // clean: dominated by the reject above
+	for i := uint64(0); i < h.N; i++ {
+		b[i] = 0 // clean: same guard covers the loop and the index
+	}
+	return b, nil
+}
+
+// GuardedInside sizes the buffer inside the bound-checked branch: clean.
+func GuardedInside(r io.Reader, cfg config) []byte {
+	h, _ := wire.ReadHeader(r)
+	if h.N <= uint64(cfg.MaxN) {
+		return make([]byte, h.N) // clean: sink inside the guarded branch
+	}
+	return nil
+}
+
+// Clamped re-binds the length to a trusted cap before use: clean.
+func Clamped(r io.Reader) []byte {
+	h, _ := wire.ReadHeader(r)
+	n := h.N
+	if n > 4096 {
+		n = 4096
+	}
+	return make([]byte, n) // clean: clamped to a constant
+}
+
+// Rearmed decodes a second header after guarding the first: the re-read
+// kills the earlier guard.
+func Rearmed(r io.Reader, cfg config) []byte {
+	h, _ := wire.ReadHeader(r)
+	if h.N > uint64(cfg.MaxN) {
+		return nil
+	}
+	h, _ = wire.ReadHeader(r)
+	return make([]byte, h.N) // finding: guard predates the re-read
+}
+
+// fill sinks its length parameter: callers must bound the argument.
+func fill(n uint64) []byte {
+	return make([]byte, n)
+}
+
+// CallUnguarded passes a decoded length to fill with no bound: the
+// finding lands at the call site.
+func CallUnguarded(r io.Reader) []byte {
+	h, _ := wire.ReadHeader(r)
+	return fill(h.N) // finding: unguarded argument to a sinking callee
+}
+
+// CallGuarded bounds the length before the call: the caller's guard
+// absolves the callee.
+func CallGuarded(r io.Reader, cfg config) []byte {
+	h, _ := wire.ReadHeader(r)
+	if h.N > uint64(cfg.MaxN) {
+		return nil
+	}
+	return fill(h.N) // clean: guarded in the caller
+}
+
+// Suppressed documents a reviewed unguarded sink via the generic ignore.
+func Suppressed(r io.Reader) []byte {
+	h, _ := wire.ReadHeader(r)
+	return make([]byte, h.N) //soilint:ignore taintflow fixture: reviewed
+}
+
+// DirectiveChecked escapes a reviewed sink with the taint directive: no
+// finding at all.
+func DirectiveChecked(r io.Reader) []byte {
+	h, _ := wire.ReadHeader(r)
+	//soilint:taint checked the fronting proxy enforces the frame cap
+	return make([]byte, h.N)
+}
+
+//soilint:taint checked nothing on the next line sinks anything
+var unusedDirective = 0 // finding: the directive above covers no sink
+
+//soilint:taint verified wrong keyword
+var malformedDirective = 0 // finding: malformed directive above

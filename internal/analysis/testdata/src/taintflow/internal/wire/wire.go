@@ -1,0 +1,19 @@
+// Package wire is a fixture-local stand-in: its import path ends in
+// internal/wire, so taintflow treats ReadHeader results as untrusted.
+package wire
+
+// BytesPerElem mirrors the real codec's element size.
+const BytesPerElem = 16
+
+// Header mirrors the real frame header shape.
+type Header struct {
+	N          uint64
+	Count      uint32
+	PayloadLen uint64
+}
+
+// ReadHeader is the taint source: everything it returns is untrusted.
+func ReadHeader(r any) (Header, error) { return Header{}, nil }
+
+// ReadVector reads len(dst) elements from r.
+func ReadVector(r any, dst []complex128) error { return nil }

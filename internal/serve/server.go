@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -83,10 +84,10 @@ func (c Config) withDefaults() Config {
 	if c.SOIMinN == 0 {
 		c.SOIMinN = 1 << 20
 	}
-	if c.MaxN == 0 {
+	if c.MaxN <= 0 {
 		c.MaxN = 1 << 24
 	}
-	if c.MaxCount == 0 {
+	if c.MaxCount <= 0 {
 		c.MaxCount = 4096
 	}
 	if c.IOTimeout == 0 {
@@ -106,6 +107,10 @@ type Server struct {
 	bufs       bufPool
 	breakdown  *trace.Breakdown
 	stats      serverStats
+	// maxResync is the largest rejected-frame payload worth discarding to
+	// stay in sync: the byte size of the biggest frame cfg's own limits
+	// would accept. Anything larger gets an error frame and a hangup.
+	maxResync uint64
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -126,8 +131,23 @@ func New(cfg Config) *Server {
 		listeners:  make(map[net.Listener]struct{}),
 		conns:      make(map[*conn]struct{}),
 	}
+	s.maxResync = maxResyncBytes(cfg.MaxN, cfg.MaxCount)
 	s.sched = newScheduler(cfg.Workers, cfg.MaxInFlight, cfg.MaxBatch, s.execute)
 	return s
+}
+
+// maxResyncBytes is the payload size of the largest frame the configured
+// limits admit, saturating on misconfigured (absurdly large) limits.
+func maxResyncBytes(maxN, maxCount int) uint64 {
+	n, c := uint64(maxN), uint64(maxCount)
+	if n > math.MaxUint64/c {
+		return math.MaxUint64
+	}
+	elems := n * c
+	if elems > math.MaxUint64/wire.BytesPerElem {
+		return math.MaxUint64
+	}
+	return elems * wire.BytesPerElem
 }
 
 // Breakdown exposes the server's phase accounting (queue wait / plan /
@@ -487,16 +507,24 @@ func (cn *conn) dispatch(h *wire.Header) bool {
 // connection-fatal failures (the stream can no longer be trusted).
 func (cn *conn) admit(h *wire.Header) bool {
 	s := cn.srv
+	// All geometry checks run on the raw uint64/uint32 header fields: a
+	// hostile N at or above 2^63 must be rejected before int(h.N) can go
+	// negative and slide under the signed MaxN comparison, and the
+	// payload-consistency product is overflow-checked inside CheckedSize.
+	elems, err := wire.CheckedSize(h.N, h.Count)
+	if err != nil {
+		return cn.rejectUnread(h, err)
+	}
 	if err := wire.CheckTransformPayload(h); err != nil {
 		return cn.rejectUnread(h, err)
 	}
+	if h.N > uint64(s.cfg.MaxN) {
+		return cn.rejectUnread(h, fmt.Errorf("%w: n=%d exceeds server limit %d", wire.ErrBadRequest, h.N, s.cfg.MaxN))
+	}
+	if uint64(h.Count) > uint64(s.cfg.MaxCount) {
+		return cn.rejectUnread(h, fmt.Errorf("%w: count=%d exceeds server limit %d", wire.ErrBadRequest, h.Count, s.cfg.MaxCount))
+	}
 	n, count := int(h.N), int(h.Count)
-	if n > s.cfg.MaxN {
-		return cn.rejectUnread(h, fmt.Errorf("%w: n=%d exceeds server limit %d", wire.ErrBadRequest, n, s.cfg.MaxN))
-	}
-	if count > s.cfg.MaxCount {
-		return cn.rejectUnread(h, fmt.Errorf("%w: count=%d exceeds server limit %d", wire.ErrBadRequest, count, s.cfg.MaxCount))
-	}
 	if h.Type != wire.TBatch && count != 1 {
 		return cn.rejectUnread(h, fmt.Errorf("%w: count=%d on a single-transform frame", wire.ErrBadRequest, count))
 	}
@@ -506,7 +534,7 @@ func (cn *conn) admit(h *wire.Header) bool {
 	// The header promises PayloadLen bytes: bound the payload read so a
 	// client that stalls mid-frame cannot hold the reader goroutine.
 	cn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
-	src := s.bufs.get(n * count)
+	src := s.bufs.get(elems)
 	if err := wire.ReadVector(cn.br, src); err != nil {
 		s.bufs.put(src)
 		return false
@@ -531,7 +559,7 @@ func (cn *conn) admit(h *wire.Header) bool {
 		id:       h.ReqID,
 		count:    count,
 		src:      src,
-		dst:      s.bufs.get(n * count),
+		dst:      s.bufs.get(elems),
 		deadline: deadline,
 		done:     cn.completeRequest,
 	}
@@ -550,9 +578,18 @@ func (cn *conn) admit(h *wire.Header) bool {
 
 // rejectUnread responds with an error frame for a request whose payload has
 // not been consumed yet, discarding the payload to keep the stream in sync.
+// Resync is only attempted for payloads no larger than the biggest frame
+// the server's own limits would ever accept: a rejected header claiming
+// more than that is answered and hung up on, so a hostile PayloadLen near
+// MaxUint64 cannot tie the reader up in a tera-byte discard.
 func (cn *conn) rejectUnread(h *wire.Header, err error) bool {
-	cn.srv.stats.badRequest.Add(1)
-	cn.SetReadDeadline(time.Now().Add(cn.srv.cfg.IOTimeout))
+	s := cn.srv
+	s.stats.badRequest.Add(1)
+	if h.PayloadLen > s.maxResync {
+		cn.out <- outFrame{reqID: h.ReqID, err: err}
+		return false
+	}
+	cn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 	if derr := wire.DiscardPayload(cn.br, h.PayloadLen); derr != nil {
 		return false
 	}

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 )
@@ -65,8 +66,24 @@ func FuzzReadHeader(f *testing.F) {
 		if h2.Code != h.Code {
 			t.Fatalf("code field changed across round trip: %d -> %d", h.Code, h2.Code)
 		}
-		// CheckTransformPayload must classify, never panic, on any header.
-		_ = CheckTransformPayload(&h)
+		// CheckTransformPayload must classify, never panic, on any header —
+		// and anything it accepts must be exactly reproducible through the
+		// CheckedSize trust boundary: an in-range element count tied to
+		// PayloadLen with no modular wrap. No header combination may pass
+		// the check yet size a buffer larger than its declared payload.
+		if CheckTransformPayload(&h) == nil {
+			elems, err := CheckedSize(h.N, h.Count)
+			if err != nil {
+				t.Fatalf("CheckTransformPayload accepted geometry that CheckedSize rejects: %+v: %v", h, err)
+			}
+			if elems <= 0 || uint64(elems) > maxSizeElems {
+				t.Fatalf("CheckedSize admitted out-of-range element count %d for %+v", elems, h)
+			}
+			if uint64(elems)*BytesPerElem != h.PayloadLen {
+				t.Fatalf("accepted geometry %dx%d sizes %d bytes but header declares %d",
+					h.Count, h.N, uint64(elems)*BytesPerElem, h.PayloadLen)
+			}
+		}
 	})
 }
 
@@ -123,6 +140,19 @@ func FuzzFrameSequence(f *testing.F) {
 	}
 	f.Add(frame.Bytes())
 	f.Add(frame.Bytes()[:HeaderLen+5])
+	// Hostile seeds: a wrap-consistent forged product (4*(2^62+1)*16 mod
+	// 2^64 equals the tiny PayloadLen) and a text frame declaring a payload
+	// far beyond the text cap.
+	var hostile bytes.Buffer
+	for _, h := range []Header{
+		{Type: TBatch, Count: 4, N: 1<<62 + 1, PayloadLen: 4 * BytesPerElem},
+		{Type: TError, Code: CodeBadRequest, PayloadLen: 1<<64 - 1},
+	} {
+		if err := WriteHeader(&hostile, &h); err != nil {
+			f.Fatal(err)
+		}
+	}
+	f.Add(hostile.Bytes())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
@@ -131,15 +161,46 @@ func FuzzFrameSequence(f *testing.F) {
 			if err != nil {
 				return
 			}
-			// Cap what we buffer from a hostile length (the server does the
-			// same via geometry checks); discard oversized payloads.
-			if CheckTransformPayload(&h) == nil && h.N*uint64(h.Count) <= 1<<16 {
-				dst := make([]complex128, int(h.N)*int(h.Count))
+			before := r.Len()
+			switch {
+			case h.Type == TError || h.Type == TStatsResult:
+				// Text frames: ReadText must reject anything over its cap
+				// without buffering, and never return more than declared.
+				text, err := ReadText(r, h.PayloadLen)
+				if err != nil {
+					return
+				}
+				if uint64(len(text)) != h.PayloadLen {
+					t.Fatalf("ReadText returned %d bytes for a %d-byte payload", len(text), h.PayloadLen)
+				}
+			case CheckTransformPayload(&h) == nil:
+				// Accepted geometry: only CheckedSize's element count — never
+				// a raw header product, which can wrap — may size the buffer.
+				elems, err := CheckedSize(h.N, h.Count)
+				if err != nil {
+					t.Fatalf("CheckTransformPayload accepted geometry that CheckedSize rejects: %+v: %v", h, err)
+				}
+				if elems > 1<<16 {
+					// Legitimate but too large to buffer in a fuzz body.
+					if err := DiscardPayload(r, h.PayloadLen); err != nil {
+						return
+					}
+					break
+				}
+				dst := make([]complex128, elems)
 				if err := ReadVector(r, dst); err != nil {
 					return
 				}
-			} else if err := DiscardPayload(r, h.PayloadLen%(1<<20)); err != nil {
-				return
+				if consumed := before - r.Len(); uint64(consumed) != h.PayloadLen {
+					t.Fatalf("geometry-sized read consumed %d bytes, header declared %d", consumed, h.PayloadLen)
+				}
+			default:
+				// Rejected frame: the resync discipline consumes exactly the
+				// declared payload (or fails on truncation) — chunked, so a
+				// near-2^64 length cannot overflow the discard arithmetic.
+				if err := DiscardPayload(r, h.PayloadLen); err != nil {
+					return
+				}
 			}
 		}
 	})
@@ -173,5 +234,15 @@ func TestFuzzSeedsRegression(t *testing.T) {
 	}
 	if err := ReadVector(io.LimitReader(bytes.NewReader(bytes.Repeat([]byte{1}, 100)), 20), make([]complex128, 2)); err == nil {
 		t.Fatal("ReadVector accepted a short stream")
+	}
+	// The hostile frame-sequence seeds, replayed explicitly: the
+	// wrap-consistent product must be rejected as geometry, and the
+	// over-cap text payload must be rejected before any buffering.
+	wrap := Header{Type: TBatch, Count: 4, N: 1<<62 + 1, PayloadLen: 4 * BytesPerElem}
+	if err := CheckTransformPayload(&wrap); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("wrap-consistent geometry accepted: %v", err)
+	}
+	if _, err := ReadText(bytes.NewReader(nil), 1<<64-1); err == nil {
+		t.Fatal("ReadText accepted a payload length beyond its cap")
 	}
 }

@@ -227,13 +227,34 @@ func ReadHeader(r io.Reader) (Header, error) {
 	return h, nil
 }
 
+// maxSizeElems bounds n*count so the byte size n*count*BytesPerElem fits
+// in an int64 with no intermediate wrap: 2^63 / 16 = 2^59 elements.
+const maxSizeElems = math.MaxInt64 / BytesPerElem
+
+// CheckedSize is the trust-boundary size algebra: it turns a header's
+// declared geometry (count transforms of n points) into an element count,
+// rejecting zero geometry and any product that would overflow the byte
+// size n*count*BytesPerElem. Every header-derived size must pass through
+// here (or an equivalent bound check) before it reaches an allocation —
+// the contract the taintflow/intflow analyzers enforce.
+func CheckedSize(n uint64, count uint32) (int, error) {
+	if n == 0 || count == 0 {
+		return 0, fmt.Errorf("%w: empty transform geometry n=%d count=%d", ErrBadRequest, n, count)
+	}
+	if n > maxSizeElems/uint64(count) {
+		return 0, fmt.Errorf("%w: transform geometry n=%d count=%d overflows the size limit", ErrBadRequest, n, count)
+	}
+	return int(n * uint64(count)), nil
+}
+
 // CheckTransformPayload validates that a transform frame's payload length
 // matches its declared geometry (count transforms of n points).
 func CheckTransformPayload(h *Header) error {
-	if h.N == 0 || h.Count == 0 {
-		return fmt.Errorf("%w: empty transform geometry n=%d count=%d", ErrBadRequest, h.N, h.Count)
+	elems, err := CheckedSize(h.N, h.Count)
+	if err != nil {
+		return err
 	}
-	want := h.N * uint64(h.Count) * BytesPerElem
+	want := uint64(elems) * BytesPerElem
 	if h.PayloadLen != want {
 		return fmt.Errorf("%w: payload %d bytes, geometry needs %d", ErrBadRequest, h.PayloadLen, want)
 	}
@@ -295,11 +316,27 @@ func ReadVector(r io.Reader, dst []complex128) error {
 	return nil
 }
 
+// discardChunk bounds one CopyN step while skipping a payload.
+const discardChunk = 1 << 20
+
 // DiscardPayload skips a frame's payload (used when the receiver no longer
-// wants the response, e.g. after a context cancellation).
+// wants the response, e.g. after a context cancellation). n comes straight
+// off the wire, so the skip is chunked: a hostile length ≥ 2^63 must not
+// reach io.CopyN as a negative count (which would silently skip nothing
+// and desync the stream). Callers still decide how much discarding they
+// will tolerate before hanging up — the loop is bounded only by n.
 func DiscardPayload(r io.Reader, n uint64) error {
-	_, err := io.CopyN(io.Discard, r, int64(n))
-	return err
+	for n > 0 {
+		c := n
+		if c > discardChunk {
+			c = discardChunk
+		}
+		if _, err := io.CopyN(io.Discard, r, int64(c)); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
 }
 
 // WriteResult writes a TResult frame carrying x (count transforms of

@@ -92,6 +92,47 @@ func TestReadHeaderRejects(t *testing.T) {
 	}
 }
 
+func TestCheckedSize(t *testing.T) {
+	const maxU64 = 1<<64 - 1
+	ok := []struct {
+		n     uint64
+		count uint32
+		want  int
+	}{
+		{8, 2, 16},
+		{1, 1, 1},
+		{maxSizeElems, 1, maxSizeElems}, // exactly the element limit (2^59-1)
+		{maxSizeElems / 7, 7, (maxSizeElems / 7) * 7},
+	}
+	for _, c := range ok {
+		got, err := CheckedSize(c.n, c.count)
+		if err != nil || got != c.want {
+			t.Errorf("CheckedSize(%d, %d) = %d, %v; want %d, nil", c.n, c.count, got, err, c.want)
+		}
+	}
+	bad := []struct {
+		n     uint64
+		count uint32
+		why   string
+	}{
+		{0, 1, "zero n"},
+		{8, 0, "zero count"},
+		{0, 0, "all zero"},
+		{maxU64, 1, "n alone above the element limit"},
+		{maxSizeElems + 1, 1, "one past the element limit"},
+		{maxSizeElems, 2, "product one doubling past the limit"},
+		{1<<62 + 1, 4, "wrap-consistent product (wraps to 4 mod 2^64)"},
+		{1 << 32, 1 << 31, "product exactly 2^63 (byte size wraps int64)"},
+		{maxU64, 1<<32 - 1, "both operands at type max"},
+	}
+	for _, c := range bad {
+		got, err := CheckedSize(c.n, c.count)
+		if !errors.Is(err, ErrBadRequest) || got != 0 {
+			t.Errorf("CheckedSize(%d, %d) [%s] = %d, %v; want 0, ErrBadRequest", c.n, c.count, c.why, got, err)
+		}
+	}
+}
+
 func TestCheckTransformPayload(t *testing.T) {
 	ok := Header{Type: TBatch, Count: 3, N: 64, PayloadLen: 3 * 64 * BytesPerElem}
 	if err := CheckTransformPayload(&ok); err != nil {
@@ -102,6 +143,10 @@ func TestCheckTransformPayload(t *testing.T) {
 		{Type: TForward, Count: 0, N: 64, PayloadLen: 64 * BytesPerElem},
 		{Type: TForward, Count: 1, N: 64, PayloadLen: 64*BytesPerElem - 1},
 		{Type: TBatch, Count: 2, N: 64, PayloadLen: 64 * BytesPerElem},
+		// Wrap-consistent forgery: N*Count*BytesPerElem mod 2^64 equals the
+		// tiny PayloadLen, so a modular check would admit a huge allocation.
+		{Type: TBatch, Count: 4, N: 1<<62 + 1, PayloadLen: 64},
+		{Type: TForward, Count: 1, N: 1<<64 - 1, PayloadLen: 1<<64 - BytesPerElem},
 	} {
 		if err := CheckTransformPayload(&h); !errors.Is(err, ErrBadRequest) {
 			t.Errorf("header %+v: %v, want ErrBadRequest", h, err)

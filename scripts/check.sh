@@ -34,13 +34,16 @@ run_gate() {
 
 run_gate "go build ./..." go build ./...
 run_gate "go vet ./..." go vet ./...
-run_gate "soilint ./..." go run ./cmd/soilint ./...
+# The combined run doubles as the hard per-analyzer wall-time gate: an
+# analyzer over its checked-in budget (or a budget entry out of sync with
+# the suite) fails CI even with zero findings.
+run_gate "soilint ./..." go run ./cmd/soilint -timing-budget-file timing_budget.json ./...
 
-# The concurrency-lifecycle, resource-lifecycle and protocol-conformance
-# analyzers also gate individually: a regression then names the failing
-# check in the gate summary instead of hiding inside the combined run (the
-# loader cache makes the repeats cheap).
-for check in goleak chanlife deadlineflow lockorder poolflow closeflow wireconform; do
+# The concurrency-lifecycle, resource-lifecycle, protocol-conformance and
+# wire-taint analyzers also gate individually: a regression then names the
+# failing check in the gate summary instead of hiding inside the combined
+# run (the loader cache makes the repeats cheap).
+for check in goleak chanlife deadlineflow lockorder poolflow closeflow wireconform taintflow intflow; do
     run_gate "soilint -checks $check" go run ./cmd/soilint -checks "$check" ./...
 done
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
