@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"soifft/internal/codec"
 	"soifft/internal/wire"
 )
 
@@ -62,7 +63,8 @@ type pending struct {
 
 // Client is a pipelined soifftd connection. Safe for concurrent use.
 type Client struct {
-	alg Alg
+	alg   Alg
+	codec codec.Codec // nil = identity (raw payloads, protocol version 1)
 
 	// ioTimeout (nanoseconds) bounds each request write and each in-frame
 	// response read; between frames the reader parks without a deadline.
@@ -112,6 +114,26 @@ func New(conn net.Conn) *Client {
 // SetAlg sets the algorithm selector used by Forward/Inverse/Batch
 // (default Auto). Not safe to race with in-flight calls.
 func (c *Client) SetAlg(a Alg) { c.alg = a }
+
+// SetCodec selects the payload compression codec by name ("identity",
+// "deltaplane", "quant"); tol is the Quant per-element relative error
+// bound, ignored otherwise. With the identity codec the client speaks
+// protocol version 1 (raw payloads), so it interoperates with pre-codec
+// servers; any other codec requires a version-2 server. Responses decode
+// by their own headers, so the server may answer with a different codec
+// (e.g. after clamping a lossy request against an SOI accuracy budget).
+// Not safe to race with in-flight calls.
+func (c *Client) SetCodec(name string, tol float64) error {
+	cdc, err := codec.ByName(name, tol)
+	if err != nil {
+		return err
+	}
+	if cdc.ID() == codec.Identity {
+		cdc = nil
+	}
+	c.codec = cdc
+	return nil
+}
 
 // SetIOTimeout bounds each request write and each in-frame response read
 // (default one minute); a sooner context deadline takes precedence for
@@ -170,10 +192,23 @@ func (c *Client) transform(ctx context.Context, dst, src []complex128, count int
 	}
 	n := len(src) / count
 	h := wire.Header{
-		Alg:        c.alg,
-		Count:      uint32(count),
-		N:          uint64(n),
-		PayloadLen: uint64(len(src)) * wire.BytesPerElem,
+		Alg:   c.alg,
+		Count: uint32(count),
+		N:     uint64(n),
+	}
+	// Identity payloads go out as protocol version 1 — byte-identical to a
+	// pre-codec client, so old servers need no fallback logic. A compressing
+	// codec needs the v2 header fields and buffers the encoded payload once
+	// to learn its declared length.
+	var enc []byte
+	if c.codec == nil {
+		h.Version = 1
+		h.PayloadLen = uint64(len(src)) * wire.BytesPerElem
+	} else {
+		enc = codec.AppendVector(nil, c.codec, src)
+		h.Codec = c.codec.ID()
+		h.CodecParam = codec.Param(c.codec)
+		h.PayloadLen = uint64(len(enc))
 	}
 	switch {
 	case count > 1:
@@ -203,7 +238,11 @@ func (c *Client) transform(ctx context.Context, dst, src []complex128, count int
 		err = wire.WriteHeader(c.bw, &h)
 	}
 	if err == nil {
-		err = wire.WriteVector(c.bw, src)
+		if enc != nil {
+			_, err = c.bw.Write(enc)
+		} else {
+			err = wire.WriteVector(c.bw, src)
+		}
 	}
 	if err == nil {
 		err = c.bw.Flush()
@@ -234,6 +273,9 @@ func (c *Client) Stats(ctx context.Context) (map[string]float64, error) {
 		return nil, err
 	}
 	h := wire.Header{Type: wire.TStats, ReqID: id}
+	if c.codec == nil {
+		h.Version = 1 // stay readable by pre-codec servers
+	}
 	c.wmu.Lock()
 	err = c.conn.SetWriteDeadline(c.writeDeadline(ctx))
 	if err == nil {
@@ -348,25 +390,42 @@ func (c *Client) readLoop() {
 		case wire.TResult:
 			// The response header comes from the server, which is just as
 			// untrusted as a client is to it: the geometry product is
-			// overflow-checked and tied to PayloadLen before any read is
+			// overflow-checked and tied to PayloadLen (exactly for identity,
+			// through the codec size algebra otherwise) before any read is
 			// sized from it. An inconsistent response is a protocol
 			// violation the stream cannot be resynced past.
 			p := c.take(h.ReqID)
 			elems, serr := wire.CheckedSize(h.N, h.Count)
-			if serr != nil || uint64(elems)*wire.BytesPerElem != h.PayloadLen {
-				fatal = fmt.Errorf("soifft client: invalid response geometry n=%d count=%d payload=%d", h.N, h.Count, h.PayloadLen)
+			if serr != nil || wire.CheckTransformPayload(&h) != nil {
+				fatal = fmt.Errorf("soifft client: invalid response geometry n=%d count=%d codec=%v payload=%d", h.N, h.Count, h.Codec, h.PayloadLen)
 				if p != nil {
 					p.ch <- fatal
 				}
 			} else if p == nil || elems != len(p.dst) {
-				// Cancelled caller or geometry mismatch: drop the payload
-				// (bounded by the consistency check above).
-				if err := wire.DiscardPayload(br, h.PayloadLen); err != nil {
+				// Cancelled caller or geometry mismatch: drop the payload.
+				//soilint:taint checked CheckTransformPayload bounded PayloadLen through the codec size algebra for this geometry
+				if err := wire.DiscardPayload(br, h.PayloadLen); err != nil { //soilint:ignore intflow same bound: PayloadLen was just validated against the codec's encoded-size cap
 					fatal = err
 				}
 				if p != nil {
 					p.ch <- fmt.Errorf("soifft client: server returned %dx%d points, caller expected %d",
 						h.Count, h.N, len(p.dst))
+				}
+			} else if h.Codec != codec.Identity {
+				// The response decodes by its own header, not by what this
+				// client asked for — the server may have clamped a lossy
+				// request to fit an accuracy budget. A corrupt block stream
+				// is a typed error; the stream position within the payload is
+				// then unknown, so the connection is done.
+				rc, rcErr := codec.For(h.Codec, h.CodecParam)
+				if rcErr != nil {
+					fatal = fmt.Errorf("soifft client: response codec: %w", rcErr)
+					p.ch <- fatal
+				} else if err := codec.ReadVector(br, rc, p.dst, h.PayloadLen); err != nil {
+					p.ch <- fmt.Errorf("soifft client: result payload: %w", err)
+					fatal = err
+				} else {
+					p.ch <- nil
 				}
 			} else if err := wire.ReadVector(br, p.dst); err != nil {
 				p.ch <- err

@@ -53,6 +53,7 @@ var hotPackages = []string{
 	"./internal/window",
 	"./internal/serve",
 	"./internal/wire",
+	"./internal/codec",
 	"./client",
 	"./cmd/soifftd",
 }

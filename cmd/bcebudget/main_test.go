@@ -71,7 +71,7 @@ func TestGateAgainstTree(t *testing.T) {
 // alongside the compute kernels, and so are the client library and the
 // soifftd daemon — both ends of the wire.
 func TestWidenedCoverage(t *testing.T) {
-	want := []string{"fft", "conv", "cvec", "window", "serve", "wire", "client", "soifftd"}
+	want := []string{"fft", "conv", "cvec", "window", "serve", "wire", "codec", "client", "soifftd"}
 	if len(hotPackages) != len(want) {
 		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
 	}

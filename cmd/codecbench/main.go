@@ -1,0 +1,277 @@
+// Command codecbench measures the payload codecs (internal/codec) on
+// representative traffic: compression ratio, encode/decode throughput and
+// round-trip error per codec on smooth and noise signals at the Figure-11
+// transform sizes, plus the end-to-end cost of compressing the distributed
+// all-to-all (mpi.WithCodec around mpi.AllToAll — the P_erm exchange of
+// Equation 1, which is what the codecs exist to shrink).
+//
+// The output is one JSON document on stdout; scripts/bench_codec.sh runs
+// this together with the serving-layer and distributed-SOI cells and
+// assembles BENCH_codec.json.
+//
+//	codecbench -sizes 28672,458752 -tol 2.1e-8 -ranks 4
+//
+// The default tolerance is the paper configuration's designed alias bound
+// (mu=8/7, B=72: 2.1e-8), so the quant cell answers the question the lossy
+// codec is for: what does compression cost when its error budget is the
+// accuracy the transform already gave up by design?
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"log"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"soifft/internal/codec"
+	"soifft/internal/mpi"
+)
+
+// cell is one block-stream measurement: a codec applied to one signal at
+// one size.
+type cell struct {
+	Codec     string  `json:"codec"`
+	Signal    string  `json:"signal"`
+	N         int     `json:"n"`
+	RawBytes  int     `json:"raw_bytes"`
+	EncBytes  int     `json:"encoded_bytes"`
+	Ratio     float64 `json:"ratio"`
+	EncodeMBs float64 `json:"encode_mb_s"`
+	DecodeMBs float64 `json:"decode_mb_s"`
+	MaxRelErr float64 `json:"max_rel_err"`
+}
+
+// a2aCell is one distributed all-to-all measurement: every rank exchanges
+// its smooth per-peer blocks through mpi.WithCodec over the in-process
+// transport. On loopback the wire is free, so wall time isolates the codec
+// CPU cost; the ratio says what a bandwidth-bound fabric would save.
+type a2aCell struct {
+	Codec   string  `json:"codec"`
+	Ranks   int     `json:"ranks"`
+	Elems   int     `json:"elems_per_rank"`
+	WallS   float64 `json:"wall_s"`
+	ElemsPS float64 `json:"elems_per_s"`
+	Ratio   float64 `json:"ratio"`
+}
+
+type report struct {
+	Bench    string    `json:"bench"`
+	Tol      float64   `json:"tol"`
+	Sizes    []int     `json:"sizes"`
+	Cells    []cell    `json:"cells"`
+	AllToAll []a2aCell `json:"alltoall"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("codecbench: ")
+	sizesStr := flag.String("sizes", "28672,458752", "comma-separated vector lengths (defaults: Fig-11 geometry S^2*7*64 for S=8,32)")
+	tol := flag.Float64("tol", 2.1e-8, "quant codec per-element tolerance (paper bound for mu=8/7, B=72)")
+	ranks := flag.Int("ranks", 4, "world size for the all-to-all cell")
+	a2aElems := flag.Int("alltoall-elems", 458752, "elements per rank in the all-to-all cell")
+	seed := flag.Int64("seed", 1, "signal seed")
+	flag.Parse()
+
+	var sizes []int
+	for _, f := range strings.Split(*sizesStr, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			log.Fatalf("bad -sizes entry %q", f)
+		}
+		sizes = append(sizes, n)
+	}
+
+	codecs := []codec.Codec{
+		codec.MustFor(codec.Identity, 0),
+		codec.MustFor(codec.DeltaPlane, 0),
+		mustQuant(*tol),
+	}
+
+	rep := report{Bench: "codecbench", Tol: *tol, Sizes: sizes}
+	for _, n := range sizes {
+		signals := []struct {
+			name string
+			x    []complex128
+		}{
+			{"smooth", smoothVector(n, *seed)},
+			{"noise", noiseVector(n, *seed)},
+		}
+		for _, sig := range signals {
+			for _, c := range codecs {
+				rep.Cells = append(rep.Cells, measure(c, sig.name, sig.x))
+			}
+		}
+	}
+	for _, c := range codecs {
+		rep.AllToAll = append(rep.AllToAll, measureAllToAll(c, *ranks, *a2aElems, *seed))
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func mustQuant(tol float64) codec.Codec {
+	c, err := codec.NewQuant(tol)
+	if err != nil {
+		log.Fatalf("-tol: %v", err)
+	}
+	return c
+}
+
+// smoothVector is a bandlimited signal: a handful of low-frequency modes
+// with random amplitudes and phases — the compressible regime the SOI
+// exchange lives in (oversampled subband spectra vary slowly from sample
+// to sample).
+func smoothVector(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	const modes = 8
+	freq := make([]float64, modes)
+	amp := make([]float64, modes)
+	ph := make([]float64, modes)
+	for m := range freq {
+		freq[m] = float64(m + 1)
+		amp[m] = 0.5 + rng.Float64()
+		ph[m] = 2 * math.Pi * rng.Float64()
+	}
+	x := make([]complex128, n)
+	for t := range x {
+		var re, im float64
+		for m := 0; m < modes; m++ {
+			a := 2*math.Pi*freq[m]*float64(t)/float64(n) + ph[m]
+			re += amp[m] * math.Cos(a)
+			im += amp[m] * math.Sin(a)
+		}
+		x[t] = complex(re, im)
+	}
+	return x
+}
+
+// noiseVector is the incompressible reference point: i.i.d. Gaussian
+// components, every mantissa bit live.
+func noiseVector(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed ^ 0x5f5f))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+// measure encodes and decodes x enough times for a stable rate and reports
+// ratio, throughput (raw MB/s of payload processed) and the worst
+// per-component relative round-trip error.
+func measure(c codec.Codec, signal string, x []complex128) cell {
+	raw := 16 * len(x)
+	enc := codec.AppendVector(nil, c, x)
+	dst := make([]complex128, len(x))
+	if err := codec.DecodeVector(dst, c, enc); err != nil {
+		log.Fatalf("%s/%s: decode: %v", c.Name(), signal, err)
+	}
+
+	encRate := rate(raw, func() {
+		enc = codec.AppendVector(enc[:0], c, x)
+	})
+	decRate := rate(raw, func() {
+		if err := codec.DecodeVector(dst, c, enc); err != nil {
+			log.Fatalf("%s/%s: decode: %v", c.Name(), signal, err)
+		}
+	})
+
+	return cell{
+		Codec:     c.Name(),
+		Signal:    signal,
+		N:         len(x),
+		RawBytes:  raw,
+		EncBytes:  len(enc),
+		Ratio:     float64(raw) / float64(len(enc)),
+		EncodeMBs: encRate,
+		DecodeMBs: decRate,
+		MaxRelErr: maxRelErr(dst, x),
+	}
+}
+
+// rate runs fn until at least 100 ms has elapsed and returns raw-payload
+// MB/s (1e6 bytes per MB).
+func rate(rawBytes int, fn func()) float64 {
+	reps := 0
+	start := time.Now()
+	for {
+		fn()
+		reps++
+		if d := time.Since(start); d >= 100*time.Millisecond {
+			return float64(rawBytes) * float64(reps) / d.Seconds() / 1e6
+		}
+	}
+}
+
+// maxRelErr is the worst per-component relative error — the quantity the
+// quant codec bounds by its tolerance. Exact zeros compare absolutely.
+func maxRelErr(got, want []complex128) float64 {
+	worst := 0.0
+	comp := func(g, w float64) {
+		e := math.Abs(g - w)
+		if w != 0 {
+			e /= math.Abs(w)
+		}
+		if e > worst {
+			worst = e
+		}
+	}
+	for i := range want {
+		comp(real(got[i]), real(want[i]))
+		comp(imag(got[i]), imag(want[i]))
+	}
+	return worst
+}
+
+// measureAllToAll times the pairwise-exchange all-to-all with every rank's
+// traffic routed through mpi.WithCodec. Each rank sends elems/ranks smooth
+// elements to every peer; rank 0's wall clock is the cell time.
+func measureAllToAll(c codec.Codec, ranks, elems int, seed int64) a2aCell {
+	per := elems / ranks
+	if per < 1 {
+		log.Fatalf("alltoall: %d elems over %d ranks leaves empty blocks", elems, ranks)
+	}
+	base := smoothVector(per, seed)
+	raw := 16 * per
+	enc := codec.AppendVector(nil, c, base)
+
+	const reps = 3
+	var wall time.Duration
+	err := mpi.Run(ranks, func(comm mpi.Comm) error {
+		cc := mpi.WithCodec(comm, c)
+		send := make([][]complex128, ranks)
+		for i := range send {
+			send[i] = base
+		}
+		start := time.Now()
+		for r := 0; r < reps; r++ {
+			if _, err := mpi.AllToAll(cc, send); err != nil {
+				return err
+			}
+		}
+		if comm.Rank() == 0 {
+			wall = time.Since(start) / reps
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("alltoall/%s: %v", c.Name(), err)
+	}
+	return a2aCell{
+		Codec:   c.Name(),
+		Ranks:   ranks,
+		Elems:   elems,
+		WallS:   wall.Seconds(),
+		ElemsPS: float64(elems) / wall.Seconds(),
+		Ratio:   float64(raw) / float64(len(enc)),
+	}
+}

@@ -51,6 +51,7 @@ var hotPackages = []string{
 	"./internal/dist",
 	"./internal/serve",
 	"./internal/wire",
+	"./internal/codec",
 	"./client",
 	"./cmd/soifftd",
 }

@@ -70,7 +70,7 @@ func TestGateAgainstTree(t *testing.T) {
 // library and the soifftd daemon close the loop: every package that
 // touches a frame is budgeted.
 func TestWidenedCoverage(t *testing.T) {
-	want := []string{"fft", "conv", "cvec", "window", "soi", "dist", "serve", "wire", "client", "soifftd"}
+	want := []string{"fft", "conv", "cvec", "window", "soi", "dist", "serve", "wire", "codec", "client", "soifftd"}
 	if len(hotPackages) != len(want) {
 		t.Fatalf("hotPackages = %v, want %d entries", hotPackages, len(want))
 	}

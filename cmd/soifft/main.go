@@ -9,6 +9,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +38,9 @@ func main() {
 	muStr := flag.String("mu", "8/7", "oversampling factor nmu/dmu")
 	baseline := flag.Bool("baseline", false, "also run the distributed Cooley-Tukey baseline")
 	seed := flag.Int64("seed", 42, "input seed")
+	codecStr := flag.String("codec", "identity", "all-to-all payload codec: identity, deltaplane, quant")
+	codecTol := flag.Float64("codec-tolerance", 0, "quant codec tolerance (0 = the plan's accuracy budget)")
+	jsonOut := flag.Bool("json", false, "emit the run summary as JSON (for scripts/bench_codec.sh)")
 	flag.Parse()
 
 	var nmu, dmu int
@@ -54,8 +58,10 @@ func main() {
 	want := make([]complex128, *n)
 	fft.MustPlan(*n).Forward(want, x)
 
-	fmt.Printf("SOI FFT: N=%d segments=%d ranks=%d mu=%d/%d B=%d (M=%d, M'=%d, ghost=%d)\n",
-		*n, *segments, *ranks, nmu, dmu, *b, p.M(), p.MPrime(), p.GhostElems())
+	if !*jsonOut {
+		fmt.Printf("SOI FFT: N=%d segments=%d ranks=%d mu=%d/%d B=%d (M=%d, M'=%d, ghost=%d)\n",
+			*n, *segments, *ranks, nmu, dmu, *b, p.M(), p.MPrime(), p.GhostElems())
+	}
 
 	got := make([]complex128, *n)
 	bd := trace.NewBreakdown()
@@ -65,6 +71,9 @@ func main() {
 	err := mpi.Run(*ranks, func(c mpi.Comm) error {
 		d, err := dist.NewSOI(c, p, soi.DefaultOptions())
 		if err != nil {
+			return err
+		}
+		if err := d.SetCodec(*codecStr, *codecTol); err != nil {
 			return err
 		}
 		rbd := trace.NewBreakdown()
@@ -83,15 +92,42 @@ func main() {
 	}
 	elapsed := time.Since(start)
 	errL2 := cvec.RelErrL2(got, want)
-	fmt.Printf("  wall time      : %v\n", elapsed)
-	fmt.Printf("  rank phase sum : %v\n", bd)
-	fmt.Printf("  relative error : %.3e vs serial FFT\n", errL2)
 	// HPCC-style round-trip residual: forward SOI + exact inverse.
 	rt := make([]complex128, *n)
 	fft.MustPlan(*n).Inverse(rt, got)
+	residual := ref.GFFTResidual(x, rt)
+	aliasBound := window.MustAliasBound(p)
+	if *jsonOut {
+		phases := make(map[string]float64)
+		for _, ph := range bd.Phases() {
+			phases[ph] = bd.Get(ph).Seconds()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(map[string]any{
+			"n": *n, "ranks": *ranks, "segments": *segments,
+			"mu": *muStr, "b": *b,
+			"codec": *codecStr, "codec_tolerance": *codecTol,
+			"wall_s":          elapsed.Seconds(),
+			"rel_err_l2":      errL2,
+			"estimated_error": aliasBound,
+			"gfft_residual":   residual,
+			"phase_seconds":   phases,
+			"verify_ok":       errL2 <= 1e-6,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if errL2 > 1e-6 {
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Printf("  wall time      : %v\n", elapsed)
+	fmt.Printf("  rank phase sum : %v\n", bd)
+	fmt.Printf("  relative error : %.3e vs serial FFT\n", errL2)
 	fmt.Printf("  G-FFT residual : %.3e (||x-x'||_inf / (eps*log2 N); exact FFTs score <16,\n"+
 		"                   SOI is bounded by its designed alias error %.2e instead)\n",
-		ref.GFFTResidual(x, rt), window.MustAliasBound(p))
+		residual, aliasBound)
 	if errL2 > 1e-6 {
 		fmt.Println("  VERIFY: FAIL")
 		os.Exit(1)

@@ -47,6 +47,7 @@ func main() {
 		maxN         = flag.Int("max-n", 1<<24, "largest accepted transform length")
 		segments     = flag.Int("soi-segments", 0, "SOI segment count (0 = library default)")
 		convWidth    = flag.Int("soi-conv-width", 0, "SOI convolution width (0 = library default)")
+		codecShare   = flag.Int("codec-budget-share", 16, "lossy response codecs are clamped to EstimatedError/share")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain bound after SIGTERM/SIGINT")
 	)
 	flag.Parse()
@@ -57,14 +58,15 @@ func main() {
 		}
 	}
 	srv := serve.New(serve.Config{
-		MaxInFlight:   *maxInflight,
-		MaxBatch:      *maxBatch,
-		Workers:       *workers,
-		PlanCacheSize: *planCache,
-		WisdomDir:     *wisdomDir,
-		SOI:           soifft.Config{Segments: *segments, ConvWidth: *convWidth},
-		SOIMinN:       *soiMinN,
-		MaxN:          *maxN,
+		MaxInFlight:      *maxInflight,
+		MaxBatch:         *maxBatch,
+		Workers:          *workers,
+		PlanCacheSize:    *planCache,
+		WisdomDir:        *wisdomDir,
+		SOI:              soifft.Config{Segments: *segments, ConvWidth: *convWidth},
+		SOIMinN:          *soiMinN,
+		MaxN:             *maxN,
+		CodecBudgetShare: *codecShare,
 	})
 
 	ln, err := net.Listen("tcp", *listen)

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
@@ -30,6 +31,8 @@ type result struct {
 	N         int     `json:"n"`
 	Count     int     `json:"count"`
 	Alg       string  `json:"alg"`
+	Codec     string  `json:"codec"`
+	Signal    string  `json:"signal"`
 	Conns     int     `json:"conns"`
 	Pipeline  int     `json:"pipeline"`
 	DurationS float64 `json:"duration_s"`
@@ -58,6 +61,9 @@ func main() {
 		warmup   = flag.Duration("warmup", 2*time.Second, "warmup before measuring")
 		inverse  = flag.Bool("inverse", false, "issue inverse transforms")
 		algName  = flag.String("alg", "auto", "algorithm: auto, exact, soi")
+		codecStr = flag.String("codec", "identity", "payload codec: identity, deltaplane, quant")
+		codecTol = flag.Float64("codec-tolerance", 0, "per-element tolerance for the quant codec")
+		signal   = flag.String("signal", "noise", "request payload: noise (incompressible) or smooth (bandlimited, the codecs' target regime)")
 		jsonOut  = flag.Bool("json", false, "emit the result as JSON")
 	)
 	flag.Parse()
@@ -85,8 +91,33 @@ func main() {
 
 	src := make([]complex128, *n**count)
 	rng := rand.New(rand.NewSource(1))
-	for i := range src {
-		src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	switch *signal {
+	case "noise":
+		for i := range src {
+			src[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	case "smooth":
+		// A handful of low-frequency modes per transform: payloads whose
+		// neighboring samples are close, the regime the delta codecs target.
+		const modes = 8
+		amp := make([]float64, modes)
+		ph := make([]float64, modes)
+		for m := range amp {
+			amp[m] = 0.5 + rng.Float64()
+			ph[m] = 2 * math.Pi * rng.Float64()
+		}
+		for i := range src {
+			t := i % *n
+			var re, im float64
+			for m := 0; m < modes; m++ {
+				a := 2*math.Pi*float64(m+1)*float64(t)/float64(*n) + ph[m]
+				re += amp[m] * math.Cos(a)
+				im += amp[m] * math.Sin(a)
+			}
+			src[i] = complex(re, im)
+		}
+	default:
+		log.Fatalf("soiload: unknown -signal %q (want noise or smooth)", *signal)
 	}
 
 	var (
@@ -128,6 +159,9 @@ func main() {
 			log.Fatalf("soiload: connection %d: %v", i, err)
 		}
 		cl.SetAlg(alg)
+		if err := cl.SetCodec(*codecStr, *codecTol); err != nil {
+			log.Fatalf("soiload: -codec: %v", err)
+		}
 		clients[i] = cl
 		for p := 0; p < *pipeline; p++ {
 			wg.Add(1)
@@ -186,7 +220,7 @@ func main() {
 	}
 
 	res := result{
-		N: *n, Count: *count, Alg: *algName, Conns: *conns, Pipeline: *pipeline,
+		N: *n, Count: *count, Alg: *algName, Codec: *codecStr, Signal: *signal, Conns: *conns, Pipeline: *pipeline,
 		DurationS:       elapsed.Seconds(),
 		Ops:             ops.Load(),
 		Errors:          errs.Load(),
@@ -207,8 +241,8 @@ func main() {
 		}
 		return
 	}
-	fmt.Printf("soiload: n=%d count=%d alg=%s conns=%d pipeline=%d window=%.2fs\n",
-		res.N, res.Count, res.Alg, res.Conns, res.Pipeline, res.DurationS)
+	fmt.Printf("soiload: n=%d count=%d alg=%s codec=%s conns=%d pipeline=%d window=%.2fs\n",
+		res.N, res.Count, res.Alg, res.Codec, res.Conns, res.Pipeline, res.DurationS)
 	fmt.Printf("  throughput  %.0f transforms/s  (%d ops, %d errors)\n", res.OpsPerSec, res.Ops, res.Errors)
 	fmt.Printf("  latency     p50 %.1fµs  p99 %.1fµs  mean %.1fµs\n", res.P50Us, res.P99Us, res.MeanUs)
 	fmt.Printf("  server      mean batch %.2f  max batch %.0f  shed %.0f\n",

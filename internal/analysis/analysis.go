@@ -38,11 +38,14 @@
 // a saturating integer-range domain evaluates the wire/serve/client size
 // algebra. On top sit two analyzers enforcing the trust boundary around
 // attacker-controlled frame headers — values decoded by wire.ReadHeader
-// must pass a dominating bound check before sizing an allocation, index,
-// reslice, loop, or io read, with reviewed sinks escaped via
-// //soilint:taint checked (taintflow), and size products or narrowing
-// conversions on those values must not wrap or go negative before the
-// guard that is supposed to bound them (intflow).
+// and codec.ReadBlockHeader must pass a dominating bound check before
+// sizing an allocation, index, reslice, loop, or io read, with reviewed
+// sinks escaped via //soilint:taint checked (taintflow), and size products
+// or narrowing conversions on those values must not wrap or go negative
+// before the guard that is supposed to bound them (intflow). The payload
+// codec layer gets its own conformance check (codecflow): switches over
+// codec.ID must be exhaustive or rejecting, and no interface-dispatched
+// DecodeBlock may run before a dominating crc32.Checksum verification.
 //
 // The framework is standard-library only (go/ast, go/parser, go/token,
 // go/types): a Loader that parses and type-checks module packages, an
@@ -124,7 +127,7 @@ func (p *Pass) diagAt(pos token.Pos, format string, args ...any) Diagnostic {
 }
 
 // All lists every registered analyzer in stable order.
-var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder, PoolFlow, CloseFlow, WireConform, TaintFlow, IntFlow}
+var All = []*Analyzer{HotAlloc, ErrDrop, TwiddleLoop, ParCapture, MPIOrder, BufAlias, ErrFlow, ShapeCheck, GoLeak, ChanLife, DeadlineFlow, LockOrder, PoolFlow, CloseFlow, WireConform, TaintFlow, IntFlow, CodecFlow}
 
 // ByName resolves a comma-separated check list ("hotalloc,errdrop") against
 // the registry; the empty string selects all analyzers.

@@ -221,6 +221,28 @@ func TestAnalyzersGolden(t *testing.T) {
 			wantSuppressed: []int{102},
 		},
 		{
+			// The make size (21) and reslice bound (22) fed from the
+			// codec-side source, ReadBlockHeader. The guarded decoder
+			// stays silent.
+			name:           "taintflow codec source",
+			dir:            fixtureDir("taintflow", "internal", "codec"),
+			analyzer:       TaintFlow,
+			wantActive:     []int{21, 22},
+			wantSuppressed: nil,
+		},
+		{
+			// A stale ID switch missing Quant (47), an empty default
+			// swallowing unknown codecs (58), an unchecked DecodeBlock
+			// (86) and a one-branch verification (97). The exhaustive
+			// registry, rejecting default, checked decode and concrete
+			// delegation stay silent.
+			name:           "codecflow",
+			dir:            fixtureDir("codecflow", "internal", "codec"),
+			analyzer:       CodecFlow,
+			wantActive:     []int{47, 58, 86, 97},
+			wantSuppressed: []int{117},
+		},
+		{
 			// A chained product wrapping uint64 (19), an int conversion
 			// that can go negative before its guard (27), a narrowing
 			// conversion (37), and unchecked header fields fed to a

@@ -1,0 +1,209 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// CodecFlow is the static twin of the codec fuzz targets: where the
+// fuzzers prove the block codecs never crash or mis-decode on hostile
+// bytes, this analyzer proves the codec *dispatch and verification
+// discipline* stays intact as the codec set grows. Two rules:
+//
+//   - Every switch over codec.ID either covers all declared ID constants
+//     or carries a rejecting (non-empty) default — a new codec added to
+//     the enum without updating its dispatch sites (the For registry, the
+//     wire negotiation clamp, the flag parsers) becomes findings naming
+//     each stale switch, not a peer that silently drops frames.
+//
+//   - Every interface-dispatched DecodeBlock call is dominated on all
+//     backward paths by a crc32.Checksum verification: a block body must
+//     never reach a decoder before its checksum was compared, because the
+//     decoders' only contract on malformed input is a typed error, and the
+//     checksum is what turns in-flight corruption into one. Concrete
+//     method calls (one codec delegating to another's decoder) are exempt:
+//     they sit below the boundary their caller already verified.
+var CodecFlow = &Analyzer{
+	Name: "codecflow",
+	Doc:  "codec conformance: exhaustive codec.ID switches and CRC-verified block bodies before DecodeBlock",
+	Run:  runCodecFlow,
+}
+
+// codecModel is the declared codec surface, extracted from the package
+// whose import path ends in internal/codec: the ID enum and its constants.
+type codecModel struct {
+	pkg      *Package
+	idType   *types.TypeName
+	idConsts []*types.Const
+}
+
+// extractCodecModel builds the model, or nil when the package declares no
+// ID enum (e.g. fixture stubs of other analyzers).
+func extractCodecModel(pkg *Package) *codecModel {
+	if pkg.Types == nil {
+		return nil
+	}
+	scope := pkg.Types.Scope()
+	tn, ok := scope.Lookup("ID").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	if _, isBasic := tn.Type().Underlying().(*types.Basic); !isBasic {
+		return nil
+	}
+	m := &codecModel{pkg: pkg, idType: tn}
+	for _, name := range scope.Names() {
+		if c, ok := scope.Lookup(name).(*types.Const); ok && types.Identical(c.Type(), tn.Type()) {
+			m.idConsts = append(m.idConsts, c)
+		}
+	}
+	if len(m.idConsts) == 0 {
+		return nil
+	}
+	return m
+}
+
+// findCodecModel locates the codec package in pkg's module-local view (or
+// pkg itself) and extracts the model.
+func findCodecModel(pkg *Package) *codecModel {
+	if pathHasSuffix(pkg.Path, "internal/codec") {
+		return extractCodecModel(pkg)
+	}
+	for _, p := range newIPAView(pkg).pkgs {
+		if pathHasSuffix(p.Path, "internal/codec") {
+			return extractCodecModel(p)
+		}
+	}
+	return nil
+}
+
+func runCodecFlow(pass *Pass) {
+	pkg := pass.Pkg
+	if !pathHasSuffix(pkg.Path, "internal/codec", "internal/wire", "internal/serve", "internal/mpi", "internal/dist", "client") {
+		return
+	}
+	model := findCodecModel(pkg)
+	if model == nil {
+		return
+	}
+	checkIDSwitches(pass, model)
+	checkDecodeCRC(pass)
+}
+
+// checkIDSwitches verifies every tagged switch over codec.ID is exhaustive
+// over the declared constants or rejects unknowns.
+func checkIDSwitches(pass *Pass, model *codecModel) {
+	pkg := pass.Pkg
+	info := pkg.Info
+	inspectAll(pkg, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		tagType := info.TypeOf(sw.Tag)
+		if tagType == nil || !types.Identical(tagType, model.idType.Type()) {
+			return true
+		}
+		caseObjs := make(map[types.Object]bool)
+		hasDefault, emptyDefault := false, false
+		for _, cl := range sw.Body.List {
+			cc, ok := cl.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if len(cc.List) == 0 {
+				hasDefault = true
+				emptyDefault = len(cc.Body) == 0
+				continue
+			}
+			for _, e := range cc.List {
+				if obj := constOf(info, e); obj != nil {
+					caseObjs[obj] = true
+				}
+			}
+		}
+		if hasDefault && emptyDefault {
+			pass.Reportf(sw.Pos(), "switch over codec.ID has an empty default: unknown codecs are silently ignored")
+			return true
+		}
+		if hasDefault {
+			return true
+		}
+		var missing []string
+		for _, c := range model.idConsts {
+			if !caseObjs[c] {
+				missing = append(missing, c.Name())
+			}
+		}
+		if len(missing) > 0 {
+			sort.Strings(missing)
+			pass.Reportf(sw.Pos(), "switch over codec.ID does not handle %s and has no rejecting default (new codecs fall through silently)", strings.Join(missing, ", "))
+		}
+		return true
+	})
+}
+
+// checkDecodeCRC verifies every interface-dispatched DecodeBlock call is
+// dominated by a crc32.Checksum verification on all backward paths.
+func checkDecodeCRC(pass *Pass) {
+	pkg := pass.Pkg
+	info := pkg.Info
+	for _, f := range pkg.Files {
+		for _, scope := range funcBodies(f) {
+			var g *funcCFG
+			walkNoLits(scope.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(info, call)
+				if fn == nil || fn.Name() != "DecodeBlock" {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil || !types.IsInterface(sig.Recv().Type()) {
+					return true
+				}
+				if g == nil {
+					g = buildCFG(scope.body)
+				}
+				node := registeredNodeFor(g, call)
+				if node == nil {
+					return true
+				}
+				verified := g.precededOnAllPaths(node, func(m ast.Node) pathMark {
+					if mentionsChecksum(info, m) {
+						return markSatisfy
+					}
+					return markNone
+				})
+				if !verified {
+					pass.Reportf(call.Pos(), "DecodeBlock call is not dominated by a crc32.Checksum verification: a corrupted block body could reach the decoder unchecked")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mentionsChecksum reports whether the CFG node contains a call to
+// crc32.Checksum — the verification the decode paths must pass through.
+func mentionsChecksum(info *types.Info, m ast.Node) bool {
+	found := false
+	ast.Inspect(m, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(info, c); fn != nil && fn.Name() == "Checksum" && pkgPathOf(fn) == "hash/crc32" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -11,7 +11,8 @@ import (
 
 // This file is the condition-aware dataflow core shared by taintflow and
 // intflow: a per-function taint engine whose sources are the header fields
-// decoded by wire.ReadHeader, a guard lattice that answers "is this value
+// decoded by wire.ReadHeader and codec.ReadBlockHeader, a guard lattice
+// that answers "is this value
 // dominated by a comparison against a trusted bound at this program
 // point?", a small saturating integer-range domain for the wire/serve/
 // client size algebra (uint64→int conversions, a*b*BytesPerElem products),
@@ -112,12 +113,22 @@ type taintSink struct {
 	via  string // "" for direct sinks; callee display name for call sites
 }
 
-// isWireHeaderSource matches calls to ReadHeader of a package whose import
-// path ends in internal/wire — the trust boundary where attacker bytes
-// become Go values.
-func isWireHeaderSource(info *types.Info, call *ast.CallExpr) bool {
+// isUntrustedDecodeSource matches the calls that turn attacker bytes into
+// Go values — wire.ReadHeader (frame headers) and codec.ReadBlockHeader
+// (compressed block headers): the trust boundaries the taint engine seeds
+// from.
+func isUntrustedDecodeSource(info *types.Info, call *ast.CallExpr) bool {
 	f := calleeFunc(info, call)
-	return f != nil && f.Name() == "ReadHeader" && pathHasSuffix(pkgPathOf(f), "internal/wire")
+	if f == nil {
+		return false
+	}
+	switch f.Name() {
+	case "ReadHeader":
+		return pathHasSuffix(pkgPathOf(f), "internal/wire")
+	case "ReadBlockHeader":
+		return pathHasSuffix(pkgPathOf(f), "internal/codec")
+	}
+	return false
 }
 
 // objOf resolves an identifier to its object (definition or use).
@@ -186,7 +197,7 @@ func newTaintScope(pkg *Package, scope funcScope, seeds []types.Object) *taintSc
 				return true
 			}
 			call, ok := ast.Unparen(x.Rhs[0]).(*ast.CallExpr)
-			if !ok || !isWireHeaderSource(pkg.Info, call) {
+			if !ok || !isUntrustedDecodeSource(pkg.Info, call) {
 				return true
 			}
 			var keys []taintKey

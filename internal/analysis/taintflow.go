@@ -1,7 +1,8 @@
 package analysis
 
 // Taintflow enforces the trust boundary around the wire protocol: every
-// value decoded from a frame header by wire.ReadHeader — and everything
+// value decoded from a frame header by wire.ReadHeader or from a
+// compressed block header by codec.ReadBlockHeader — and everything
 // data-flowed from one — must pass a dominating comparison against a
 // trusted bound before it sizes an allocation, indexes or reslices a
 // buffer, bounds a loop, or limits an io read. The guard lattice and the

@@ -1,0 +1,118 @@
+// Package codec is the audited fixture for codecflow: switches over the
+// fixture-local ID enum must be exhaustive or rejecting, and interface
+// DecodeBlock calls must sit behind a dominating checksum verification.
+package codec
+
+import (
+	"errors"
+	"hash/crc32"
+)
+
+// ID mirrors the real wire codec identifier.
+type ID byte
+
+const (
+	Identity   ID = 0
+	DeltaPlane ID = 1
+	Quant      ID = 2
+)
+
+var (
+	errUnknown = errors.New("unknown codec")
+	errCorrupt = errors.New("corrupt block")
+	table      = crc32.MakeTable(crc32.Castagnoli)
+)
+
+// Codec mirrors the real decode surface.
+type Codec interface {
+	ID() ID
+	DecodeBlock(dst []complex128, body []byte) error
+}
+
+// For covers every declared constant: clean.
+func For(id ID) string {
+	switch id {
+	case Identity:
+		return "identity"
+	case DeltaPlane:
+		return "deltaplane"
+	case Quant:
+		return "quant"
+	}
+	return "unknown"
+}
+
+// Stale misses Quant with no default: a new codec falls through silently.
+func Stale(id ID) string {
+	switch id { // finding: does not handle Quant
+	case Identity:
+		return "identity"
+	case DeltaPlane:
+		return "deltaplane"
+	}
+	return ""
+}
+
+// Swallow drops unknown codecs in an empty default.
+func Swallow(id ID) {
+	switch id { // finding: empty default
+	case Identity:
+	case DeltaPlane:
+	case Quant:
+	default:
+	}
+}
+
+// Reject handles unknowns explicitly: clean despite the missing cases.
+func Reject(id ID) error {
+	switch id {
+	case Identity:
+		return nil
+	default:
+		return errUnknown
+	}
+}
+
+// DecodeChecked verifies the body checksum before decoding: clean.
+func DecodeChecked(c Codec, dst []complex128, body []byte, want uint32) error {
+	if crc32.Checksum(body, table) != want {
+		return errCorrupt
+	}
+	return c.DecodeBlock(dst, body)
+}
+
+// DecodeUnchecked hands the body to the decoder with no checksum anywhere.
+func DecodeUnchecked(c Codec, dst []complex128, body []byte) error {
+	return c.DecodeBlock(dst, body) // finding: no dominating verification
+}
+
+// DecodeOneBranch verifies on one path only: the trusted=true path reaches
+// the decoder unchecked.
+func DecodeOneBranch(c Codec, dst []complex128, body []byte, want uint32, trusted bool) error {
+	if !trusted {
+		if crc32.Checksum(body, table) != want {
+			return errCorrupt
+		}
+	}
+	return c.DecodeBlock(dst, body) // finding: unverified on the trusted path
+}
+
+// identity is a concrete decoder.
+type identity struct{}
+
+func (identity) ID() ID                                          { return Identity }
+func (identity) DecodeBlock(dst []complex128, body []byte) error { return nil }
+
+// quant delegates to another concrete decoder: clean, the caller already
+// verified the block it handed down.
+type quant struct{}
+
+func (quant) ID() ID { return Quant }
+func (quant) DecodeBlock(dst []complex128, body []byte) error {
+	return identity{}.DecodeBlock(dst, body)
+}
+
+// Suppressed documents a reviewed unchecked decode.
+func Suppressed(c Codec, dst []complex128, body []byte) error {
+	return c.DecodeBlock(dst, body) //soilint:ignore codecflow fixture: reviewed
+}

@@ -1,0 +1,33 @@
+// Package codec is the fixture for taintflow's second source: block
+// header fields decoded by the fixture-local ReadBlockHeader are
+// untrusted, exactly like wire.ReadHeader results.
+package codec
+
+// blockHeader mirrors the real decoded (still untrusted) block header.
+type blockHeader struct {
+	Elems int
+	Body  int
+}
+
+// maxBody is the trusted cap a well-behaved decoder checks against.
+const maxBody = 1 << 16
+
+// ReadBlockHeader is the codec-side taint source.
+func ReadBlockHeader(buf []byte) (blockHeader, error) { return blockHeader{}, nil }
+
+// DecodeUnguarded sinks both untrusted header fields with no bound check.
+func DecodeUnguarded(buf []byte) []complex128 {
+	h, _ := ReadBlockHeader(buf)
+	dst := make([]complex128, h.Elems) // finding: make size
+	_ = buf[:h.Body]                   // finding: reslice bound
+	return dst
+}
+
+// DecodeGuarded rejects out-of-range lengths before any sink: clean.
+func DecodeGuarded(buf []byte) []byte {
+	h, _ := ReadBlockHeader(buf)
+	if h.Body > maxBody || h.Body > len(buf) {
+		return nil
+	}
+	return buf[:h.Body]
+}

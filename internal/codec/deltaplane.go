@@ -1,0 +1,243 @@
+package codec
+
+import (
+	"fmt"
+	"math"
+)
+
+// deltaPlaneCodec is the lossless compressor: it exploits the smoothness
+// of FFT traffic (windowed, oversampled segments vary slowly, so adjacent
+// samples agree to many significant bits) using only integer arithmetic,
+// so every bit pattern — NaN payloads, infinities, denormals, negative
+// zero — round-trips exactly.
+//
+// Pipeline, per block, per component stream (real then imaginary —
+// split-complex, so the two smooth streams never interleave):
+//
+//  1. Total-order map of the IEEE-754 bit pattern: sign-magnitude becomes
+//     a monotone uint64 (positives get the top bit, negatives are
+//     complemented), so the float ordering equals the integer ordering and
+//     smooth data stays smooth across zero crossings.
+//  2. Second-order wrapping delta: d2[i] = d1[i] - d1[i-1] with
+//     d1[i] = m[i] - m[i-1] (mod 2^64, exactly invertible). The first
+//     difference tracks the signal's slope, the second its curvature —
+//     for oversampled FFT traffic each order clears another band of high
+//     bits.
+//  3. Zigzag: small +/- second deltas become small magnitudes, pushing
+//     the cleared bits into literal zero high bytes.
+//  4. Byte-plane shuffle: the 8 bytes of each zigzagged delta are
+//     transposed into 8 planes (all byte-0s, then all byte-1s, ...),
+//     concentrating those zeros into long runs.
+//  5. Zero-run RLE per plane: control byte c < 0x80 copies c+1 literal
+//     bytes; c >= 0x80 emits c-126 zeros (runs of 2..129). A lone zero
+//     travels as a literal, so the worst case is bounded: a plane of k
+//     bytes encodes to at most k + ceil(k/128) bytes.
+//
+// The 16 planes (8 real + 8 imaginary) are concatenated; plane boundaries
+// are implicit because each plane decodes exactly elems bytes.
+type deltaPlaneCodec struct{}
+
+func (deltaPlaneCodec) ID() ID         { return DeltaPlane }
+func (deltaPlaneCodec) Name() string   { return "deltaplane" }
+func (deltaPlaneCodec) Lossless() bool { return true }
+
+// planes per block: 8 byte positions x {real, imag}.
+const numPlanes = 16
+
+func (deltaPlaneCodec) MaxBodyLen(elems int) int {
+	return numPlanes * (elems + (elems+127)/128)
+}
+
+// planeScratch holds one block's transposed delta bytes: numPlanes planes
+// of BlockElems bytes.
+type planeScratch [numPlanes][BlockElems]byte
+
+// orderMap converts an IEEE-754 bit pattern into a uint64 whose integer
+// ordering matches the float ordering (sign-magnitude made monotone):
+// positives gain the top bit, negatives are bit-complemented.
+func orderMap(bits uint64) uint64 {
+	if bits>>63 != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// orderUnmap inverts orderMap exactly.
+func orderUnmap(u uint64) uint64 {
+	if u>>63 != 0 {
+		return u &^ (1 << 63)
+	}
+	return ^u
+}
+
+// zigzag folds a signed (two's complement) delta into a small magnitude:
+// 0,-1,1,-2,2,... -> 0,1,2,3,4,...
+func zigzag(d uint64) uint64 {
+	s := int64(d)
+	return uint64((s << 1) ^ (s >> 63))
+}
+
+// unzigzag inverts zigzag.
+func unzigzag(z uint64) uint64 {
+	return uint64(int64(z>>1) ^ -int64(z&1))
+}
+
+// deltaStream carries one component stream's second-order-delta state.
+// All arithmetic wraps mod 2^64, so every step is exactly invertible for
+// arbitrary bit patterns.
+type deltaStream struct {
+	prev  uint64 // last order-mapped value
+	slope uint64 // last first difference
+}
+
+// fwd maps one order-mapped value to its zigzagged second difference.
+func (s *deltaStream) fwd(m uint64) uint64 {
+	d1 := m - s.prev
+	d2 := d1 - s.slope
+	s.prev, s.slope = m, d1
+	return zigzag(d2)
+}
+
+// inv maps one zigzagged second difference back to its order-mapped value.
+func (s *deltaStream) inv(z uint64) uint64 {
+	d1 := s.slope + unzigzag(z)
+	m := s.prev + d1
+	s.prev, s.slope = m, d1
+	return m
+}
+
+// transpose fills planes[0..15][:k] from src's zigzagged second-order
+// deltas (order-mapped bit patterns, state reset per block).
+func transpose(planes *planeScratch, src []complex128) {
+	var sr, si deltaStream
+	for i, v := range src {
+		zre := sr.fwd(orderMap(math.Float64bits(real(v))))
+		zim := si.fwd(orderMap(math.Float64bits(imag(v))))
+		for b := 0; b < 8; b++ {
+			planes[b][i] = byte(zre >> (8 * b))
+			planes[8+b][i] = byte(zim >> (8 * b))
+		}
+	}
+}
+
+// untranspose rebuilds dst from the planes' delta bytes.
+func untranspose(dst []complex128, planes *planeScratch) {
+	var sr, si deltaStream
+	for i := range dst {
+		var zre, zim uint64
+		for b := 0; b < 8; b++ {
+			zre |= uint64(planes[b][i]) << (8 * b)
+			zim |= uint64(planes[8+b][i]) << (8 * b)
+		}
+		re := orderUnmap(sr.inv(zre))
+		im := orderUnmap(si.inv(zim))
+		dst[i] = complex(math.Float64frombits(re), math.Float64frombits(im))
+	}
+}
+
+// RLE token space: literals copy up to maxLiteral bytes, zero-run tokens
+// cover runs of 2..maxZeroRun.
+const (
+	maxLiteral = 128 // control 0x00..0x7F: copy control+1 literals
+	zeroBase   = 126 // control 0x80..0xFF: control-zeroBase zeros (2..129)
+	maxZeroRun = 255 - zeroBase
+)
+
+// rleAppend zero-run-encodes plane onto dst.
+func rleAppend(dst []byte, plane []byte) []byte {
+	i := 0
+	for i < len(plane) {
+		// Count a zero run first: only runs of >= 2 pay for a token.
+		if plane[i] == 0 && i+1 < len(plane) && plane[i+1] == 0 {
+			run := 2
+			for i+run < len(plane) && plane[i+run] == 0 && run < maxZeroRun {
+				run++
+			}
+			dst = append(dst, byte(zeroBase+run))
+			i += run
+			continue
+		}
+		// Literal run: up to the next zero pair (or the literal cap).
+		start := i
+		for i < len(plane) && i-start < maxLiteral {
+			if plane[i] == 0 && i+1 < len(plane) && plane[i+1] == 0 {
+				break
+			}
+			i++
+		}
+		dst = append(dst, byte(i-start-1))
+		dst = append(dst, plane[start:i]...)
+	}
+	return dst
+}
+
+// rleDecode fills plane (exactly len(plane) bytes) from body, returning
+// the number of body bytes consumed. Every length is untrusted: the
+// decode never reads past body or writes past plane, and a stream that
+// produces the wrong byte count is a typed error.
+func rleDecode(plane []byte, body []byte) (int, error) {
+	out := 0
+	read := 0
+	for out < len(plane) {
+		if read >= len(body) {
+			return 0, fmt.Errorf("%w: RLE stream truncated (%d of %d plane bytes)", ErrCorrupt, out, len(plane))
+		}
+		c := body[read]
+		read++
+		if c < maxLiteral {
+			n := int(c) + 1
+			if out+n > len(plane) || read+n > len(body) {
+				return 0, fmt.Errorf("%w: RLE literal run of %d overruns plane or body", ErrCorrupt, n)
+			}
+			copy(plane[out:out+n], body[read:read+n])
+			read += n
+			out += n
+		} else {
+			n := int(c) - zeroBase
+			if out+n > len(plane) {
+				return 0, fmt.Errorf("%w: RLE zero run of %d overruns the plane", ErrCorrupt, n)
+			}
+			for j := 0; j < n; j++ {
+				plane[out+j] = 0
+			}
+			out += n
+		}
+	}
+	return read, nil
+}
+
+func (c deltaPlaneCodec) EncodeBlock(dst []byte, src []complex128) []byte {
+	return encodeDeltaPlanes(dst, src)
+}
+
+// encodeDeltaPlanes is the shared DeltaPlane/Quant encode body.
+func encodeDeltaPlanes(dst []byte, src []complex128) []byte {
+	var planes planeScratch
+	transpose(&planes, src)
+	for p := 0; p < numPlanes; p++ {
+		dst = rleAppend(dst, planes[p][:len(src)])
+	}
+	return dst
+}
+
+func (c deltaPlaneCodec) DecodeBlock(dst []complex128, body []byte) error {
+	return decodeDeltaPlanes(dst, body)
+}
+
+// decodeDeltaPlanes is the shared DeltaPlane/Quant decode body (Quant's
+// stream is structurally identical — quantization happens pre-delta).
+func decodeDeltaPlanes(dst []complex128, body []byte) error {
+	var planes planeScratch
+	for p := 0; p < numPlanes; p++ {
+		n, err := rleDecode(planes[p][:len(dst)], body)
+		if err != nil {
+			return err
+		}
+		body = body[n:]
+	}
+	if len(body) != 0 {
+		return fmt.Errorf("%w: %d bytes after the final RLE plane", ErrCorrupt, len(body))
+	}
+	untranspose(dst, &planes)
+	return nil
+}

@@ -1,0 +1,184 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"math"
+	"runtime"
+	"testing"
+)
+
+// Native fuzz targets for the codec trust boundary. FuzzCodecRoundTrip
+// drives the encoder with arbitrary bit patterns (NaN payloads, Inf,
+// denormals included) and asserts the fidelity contract; FuzzCodecDecode
+// drives the decoder with arbitrary bytes and asserts it either errors
+// (typed) or produces a valid output — never panics, never allocates
+// beyond the declared-size caps. Seed corpora live in testdata/fuzz/.
+
+// fuzzCodec maps a fuzz selector byte onto a codec.
+func fuzzCodec(sel byte) Codec {
+	switch sel % 3 {
+	case 0:
+		return identityCodec{}
+	case 1:
+		return deltaPlaneCodec{}
+	default:
+		drop := int(sel)%MaxDropBits + 1
+		q, err := NewQuantBits(drop)
+		if err != nil {
+			panic(err)
+		}
+		return q
+	}
+}
+
+func FuzzCodecRoundTrip(f *testing.F) {
+	smooth := make([]byte, 0, 40*16)
+	for i := 0; i < 40; i++ {
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[0:], math.Float64bits(math.Sin(float64(i)/7)))
+		binary.LittleEndian.PutUint64(b[8:], math.Float64bits(math.Cos(float64(i)/5)))
+		smooth = append(smooth, b[:]...)
+	}
+	f.Add(byte(0), smooth)
+	f.Add(byte(1), smooth)
+	f.Add(byte(2), smooth)
+	special := make([]byte, 0, 4*16)
+	for _, bits := range []uint64{0, 0x7FF8_0000_DEAD_BEEF, 0x7FF0_0000_0000_0000, 0x0000_0000_0000_0001} {
+		var b [16]byte
+		binary.LittleEndian.PutUint64(b[0:], bits)
+		binary.LittleEndian.PutUint64(b[8:], ^bits)
+		special = append(special, b[:]...)
+	}
+	f.Add(byte(1), special)
+	f.Add(byte(44), special)
+	f.Add(byte(0), []byte{})
+
+	f.Fuzz(func(t *testing.T, sel byte, raw []byte) {
+		c := fuzzCodec(sel)
+		n := len(raw) / 16
+		if n > 3*BlockElems {
+			n = 3 * BlockElems // bound the fuzz body's work, still straddling blocks
+		}
+		x := make([]complex128, n)
+		for i := range x {
+			re := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16:]))
+			im := math.Float64frombits(binary.LittleEndian.Uint64(raw[i*16+8:]))
+			x[i] = complex(re, im)
+		}
+		enc := AppendVector(nil, c, x)
+		if n > 0 && uint64(len(enc)) > MaxEncodedLen(n) {
+			t.Fatalf("%s: %d elems encode to %d bytes, over the %d declared bound", c.Name(), n, len(enc), MaxEncodedLen(n))
+		}
+		dst := make([]complex128, n)
+		if err := DecodeVector(dst, c, enc); err != nil {
+			t.Fatalf("%s: decoding own encoding of %d elems: %v", c.Name(), n, err)
+		}
+		tol := Tolerance(c)
+		checkComp := func(i int, want, got float64) {
+			// Quant rounds per component: a non-finite or denormal
+			// component passes through bit-exactly even when the other
+			// half of the complex value is quantized.
+			if c.Lossless() || !isFiniteNormal(want) {
+				if math.Float64bits(want) != math.Float64bits(got) {
+					t.Fatalf("%s: [%d] %x -> %x, want bit-exact",
+						c.Name(), i, math.Float64bits(want), math.Float64bits(got))
+				}
+			} else if relErr(want, got) > tol {
+				t.Fatalf("%s: [%d] %v -> %v breaches declared tolerance %g", c.Name(), i, want, got, tol)
+			}
+		}
+		for i := range x {
+			checkComp(i, real(x[i]), real(dst[i]))
+			checkComp(i, imag(x[i]), imag(dst[i]))
+		}
+		// The streaming reader must agree byte-for-byte on consumption.
+		dst2 := make([]complex128, n)
+		if err := ReadVector(bytes.NewReader(enc), c, dst2, uint64(len(enc))); err != nil {
+			t.Fatalf("%s: ReadVector on own encoding: %v", c.Name(), err)
+		}
+	})
+}
+
+// fuzzDecodeCap bounds the output a FuzzCodecDecode body will buffer.
+const fuzzDecodeCap = 2*BlockElems + 33
+
+func FuzzCodecDecode(f *testing.F) {
+	// Valid streams for each codec (mutation fodder), plus raw garbage.
+	x := make([]complex128, 100)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), float64(i))
+	}
+	q, _ := NewQuant(1e-6)
+	for _, c := range []Codec{identityCodec{}, deltaPlaneCodec{}, q} {
+		f.Add(byte(c.ID()), uint16(len(x)), AppendVector(nil, c, x))
+	}
+	f.Add(byte(DeltaPlane), uint16(4096), bytes.Repeat([]byte{0xFF}, 64))
+	f.Add(byte(Quant), uint16(1), []byte{})
+	f.Add(byte(7), uint16(9), []byte{1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, idSel byte, elems uint16, data []byte) {
+		c, err := For(ID(idSel%3), 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := int(elems) % fuzzDecodeCap
+		// Hard allocation cap: decoding arbitrary bytes must stay bounded by
+		// the size algebra — a stream too short to legally hold n elements
+		// is rejected before dst-sized work happens, and scratch is pooled.
+		if uint64(n) > MaxElemsForEncoded(uint64(len(data)))+BlockElems {
+			n = int(MaxElemsForEncoded(uint64(len(data))))
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		dst := make([]complex128, n)
+		errMem := DecodeVector(dst, c, data)
+		errStream := ReadVector(bytes.NewReader(data), c, make([]complex128, n), uint64(len(data)))
+		runtime.ReadMemStats(&after)
+		if errMem != nil && !errors.Is(errMem, ErrCorrupt) {
+			t.Fatalf("DecodeVector: untyped error %v", errMem)
+		}
+		if errStream != nil && !errors.Is(errStream, ErrCorrupt) && !isIOish(errStream) {
+			t.Fatalf("ReadVector: untyped error %v", errStream)
+		}
+		// Both decoders saw identical bytes with identical declared lengths:
+		// accept/reject must agree.
+		if (errMem == nil) != (errStream == nil) {
+			t.Fatalf("decoders disagree: DecodeVector=%v ReadVector=%v", errMem, errStream)
+		}
+		// The decode of len(data) hostile bytes may not allocate beyond the
+		// caller's dst plus bounded scratch (16 MiB covers dst, pool misses
+		// and test-harness noise; a quadratic or unbounded decode trips it).
+		if delta := after.TotalAlloc - before.TotalAlloc; delta > uint64(n)*16+16<<20 {
+			t.Fatalf("decode of %d bytes allocated %d bytes", len(data), delta)
+		}
+	})
+}
+
+// isIOish matches the read-failure half of ReadVector's error surface
+// (truncated stream under a declared length).
+func isIOish(err error) bool {
+	s := err.Error()
+	return !errors.Is(err, ErrCorrupt) && (bytes.Contains([]byte(s), []byte("reading block")))
+}
+
+// TestFuzzSeedShapes replays the corpus shapes under plain `go test` so
+// they are pinned as regressions without -fuzz.
+func TestFuzzSeedShapes(t *testing.T) {
+	q, _ := NewQuant(1e-6)
+	x := make([]complex128, 100)
+	for i := range x {
+		x[i] = complex(math.Sin(float64(i)), float64(i))
+	}
+	for _, c := range []Codec{identityCodec{}, deltaPlaneCodec{}, q} {
+		enc := AppendVector(nil, c, x)
+		dst := make([]complex128, len(x))
+		if err := DecodeVector(dst, c, enc); err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+	}
+	if err := DecodeVector(make([]complex128, 4096), deltaPlaneCodec{}, bytes.Repeat([]byte{0xFF}, 64)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("garbage stream: %v", err)
+	}
+}

@@ -1,0 +1,71 @@
+//go:build ignore
+
+// gen_corpus regenerates the checked-in seed corpora under testdata/fuzz.
+// Run from internal/codec: go run testdata/gen_corpus.go
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+func writeSeed(target, name string, args ...any) {
+	dir := filepath.Join("testdata", "fuzz", target)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	body := "go test fuzz v1\n"
+	for _, a := range args {
+		switch v := a.(type) {
+		case byte:
+			body += fmt.Sprintf("byte(%q)\n", rune(v))
+		case uint16:
+			body += fmt.Sprintf("uint16(%d)\n", v)
+		case []byte:
+			body += "[]byte(" + strconv.Quote(string(v)) + ")\n"
+		default:
+			log.Fatalf("unsupported seed arg %T", a)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func floats(bits ...uint64) []byte {
+	out := make([]byte, 0, 8*len(bits))
+	for _, b := range bits {
+		out = binary.LittleEndian.AppendUint64(out, b)
+	}
+	return out
+}
+
+func main() {
+	smooth := make([]byte, 0, 48*16)
+	for i := 0; i < 48; i++ {
+		smooth = append(smooth, floats(
+			math.Float64bits(math.Sin(float64(i)/7)),
+			math.Float64bits(math.Cos(float64(i)/5)))...)
+	}
+	special := floats(
+		0, 0x8000_0000_0000_0000, // +0 / -0
+		0x7FF8_0000_DEAD_BEEF, 0xFFF0_0000_0000_0000, // NaN payload / -Inf
+		0x0000_0000_0000_0001, 0x7FEF_FFFF_FFFF_FFFF, // denormal / MaxFloat64
+		0x7FF0_0000_0000_0000, 0x8000_0000_0000_0001) // +Inf / -denormal
+
+	writeSeed("FuzzCodecRoundTrip", "identity-empty", byte(0), []byte{})
+	writeSeed("FuzzCodecRoundTrip", "deltaplane-smooth", byte(1), smooth)
+	writeSeed("FuzzCodecRoundTrip", "quant-smooth", byte(2), smooth)
+	writeSeed("FuzzCodecRoundTrip", "deltaplane-specials", byte(1), special)
+	writeSeed("FuzzCodecRoundTrip", "quant-specials", byte(44), special)
+
+	writeSeed("FuzzCodecDecode", "garbage-ff", byte(1), uint16(4096), []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})
+	writeSeed("FuzzCodecDecode", "empty-quant", byte(2), uint16(1), []byte{})
+	writeSeed("FuzzCodecDecode", "unknown-id", byte(7), uint16(9), []byte{1, 2, 3})
+	writeSeed("FuzzCodecDecode", "short-header", byte(0), uint16(3), []byte{0, 0, 3, 0})
+}

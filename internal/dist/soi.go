@@ -18,6 +18,7 @@ package dist
 import (
 	"fmt"
 
+	"soifft/internal/codec"
 	"soifft/internal/mpi"
 	"soifft/internal/soi"
 	"soifft/internal/trace"
@@ -84,6 +85,34 @@ func NewSOIFromPlan(c mpi.Comm, plan *soi.Plan) (*SOI, error) {
 		return nil, fmt.Errorf("dist: ghost region %d spans the whole input N=%d; increase N or reduce B", ghost, p.N)
 	}
 	return d, nil
+}
+
+// SetCodec compresses this rank's exchanges (ghost traffic and the
+// all-to-alls) with the named payload codec — see codec.ByName. Every rank
+// of the world must apply the same codec before the first transform; the
+// peer streams are decoded against the local configuration. A lossy codec's
+// tolerance is clamped against a 1/16 share of the plan's designed accuracy
+// bound, the same budget discipline the serving layer applies, so
+// compression error stays far inside EstimatedError. Not safe to call
+// concurrently with a transform.
+func (d *SOI) SetCodec(name string, tol float64) error {
+	budget := d.EstimatedError() / 16
+	if tol == 0 {
+		tol = budget
+	}
+	c, err := codec.ByName(name, tol)
+	if err != nil {
+		return fmt.Errorf("dist: %w", err)
+	}
+	if !c.Lossless() && codec.Tolerance(c) > budget {
+		if c, err = codec.NewQuant(budget); err != nil {
+			// Budget below the representable quantization step: compress
+			// losslessly rather than overshoot it.
+			c = codec.MustFor(codec.DeltaPlane, 0)
+		}
+	}
+	d.comm = mpi.WithCodec(d.comm, c)
+	return nil
 }
 
 // Params returns the SOI parameters.

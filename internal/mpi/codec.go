@@ -1,0 +1,160 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"soifft/internal/codec"
+)
+
+// WithCodec wraps inner so every payload crosses the transport as a
+// compressed internal/codec block stream, packed into complex128 words (the
+// only data type the Comm interface carries). This is the all-to-all
+// compression path of the distributed FFTs: the SOI exchange moves
+// oversampled spectra whose smoothness the delta codec exploits, and a lossy
+// quantizer can trade designed accuracy headroom for bandwidth.
+//
+// Both sides of a world must be wrapped with the same codec — the peer's
+// stream is decoded against the local configuration, and a mismatch is a
+// detected corruption, not a silent reinterpretation. Received payloads are
+// untrusted: the framing words are validated against the codec size algebra
+// before any allocation is sized from them, and every failure surfaces as a
+// *TransportError wrapping codec.ErrCorrupt. An identity or nil codec
+// returns inner unchanged.
+//
+// Stacking order: apply WithCodec outermost (WithCodec(NewProxy(...))), so
+// the proxy's internal framing crosses the wire unencoded and only
+// application payloads are compressed.
+func WithCodec(inner Comm, c codec.Codec) Comm {
+	if c == nil || c.ID() == codec.Identity {
+		return inner
+	}
+	return &codecComm{inner: inner, c: c}
+}
+
+type codecComm struct {
+	inner Comm
+	c     codec.Codec
+}
+
+var _ Comm = (*codecComm)(nil)
+var _ DeadlineRecver = (*codecComm)(nil)
+
+func (cc *codecComm) Rank() int { return cc.inner.Rank() }
+func (cc *codecComm) Size() int { return cc.inner.Size() }
+
+// Send encodes data and ships it as one header word — complex(elements,
+// encoded bytes) — followed by the encoded stream packed 16 bytes per word.
+func (cc *codecComm) Send(dst, tag int, data []complex128) error {
+	enc := codec.AppendVector(nil, cc.c, data)
+	msg := make([]complex128, 1+(len(enc)+15)/16)
+	msg[0] = complex(float64(len(data)), float64(len(enc)))
+	packBytes(msg[1:], enc)
+	return cc.inner.Send(dst, tag, msg)
+}
+
+func (cc *codecComm) Recv(src, tag int) ([]complex128, int, error) {
+	msg, from, err := cc.inner.Recv(src, tag)
+	if err != nil {
+		return nil, from, err
+	}
+	data, err := cc.decode(msg, from, tag)
+	return data, from, err
+}
+
+// RecvDeadline forwards the per-op deadline when the inner transport
+// supports one, like the other middlewares in this package.
+func (cc *codecComm) RecvDeadline(src, tag int, deadline time.Time) ([]complex128, int, error) {
+	dr, ok := cc.inner.(DeadlineRecver)
+	if !ok {
+		return cc.Recv(src, tag)
+	}
+	msg, from, err := dr.RecvDeadline(src, tag, deadline)
+	if err != nil {
+		return nil, from, err
+	}
+	data, err := cc.decode(msg, from, tag)
+	return data, from, err
+}
+
+func (cc *codecComm) Close() error { return cc.inner.Close() }
+
+// decode validates and decompresses one received message. The framing words
+// come from the peer: the element count and byte length must be exact
+// non-negative integers, the byte length must match the packed words it
+// arrived in, and the element count is capped by the codec size algebra
+// (codec.MaxElemsForEncoded) so a hostile header cannot size an allocation
+// beyond a small multiple of the bytes actually received.
+func (cc *codecComm) decode(msg []complex128, from, tag int) ([]complex128, error) {
+	corrupt := func(format string, a ...any) error {
+		return &TransportError{Op: "recv", Peer: from, Tag: tag,
+			Err: fmt.Errorf("%w: "+format, append([]any{codec.ErrCorrupt}, a...)...)}
+	}
+	if len(msg) < 1 {
+		return nil, corrupt("compressed message has no framing word")
+	}
+	er, eb := real(msg[0]), imag(msg[0])
+	if er != math.Trunc(er) || eb != math.Trunc(eb) || er < 0 || eb < 0 ||
+		er > float64(math.MaxInt32) || eb > float64(math.MaxInt32) {
+		return nil, corrupt("bad framing word (%g elements, %g bytes)", er, eb)
+	}
+	elems, encLen := int(er), int(eb)
+	words := len(msg) - 1
+	if (encLen+15)/16 != words {
+		return nil, corrupt("%d encoded bytes do not fill %d packed words", encLen, words)
+	}
+	if elems > 0 && uint64(elems) > codec.MaxElemsForEncoded(uint64(encLen)) {
+		return nil, corrupt("%d elements exceed the %d-byte stream's bound", elems, encLen)
+	}
+	enc := make([]byte, encLen)
+	unpackBytes(enc, msg[1:])
+	dst := make([]complex128, elems)
+	if err := codec.DecodeVector(dst, cc.c, enc); err != nil {
+		return nil, &TransportError{Op: "recv", Peer: from, Tag: tag, Err: err}
+	}
+	return dst, nil
+}
+
+// packBytes stores b into words, 8 bytes per float64 component,
+// little-endian, zero-padding the tail. Bit patterns are preserved exactly:
+// the components are built with math.Float64frombits and never enter
+// floating-point arithmetic.
+func packBytes(words []complex128, b []byte) {
+	var buf [16]byte
+	for i := range words {
+		chunk := buf[:]
+		if len(b) >= 16 {
+			chunk = b[:16]
+			b = b[16:]
+		} else {
+			buf = [16]byte{}
+			copy(chunk, b)
+			b = nil
+		}
+		lo := leUint64(chunk[0:8])
+		hi := leUint64(chunk[8:16])
+		words[i] = complex(math.Float64frombits(lo), math.Float64frombits(hi))
+	}
+}
+
+// unpackBytes is the inverse of packBytes, filling exactly len(b) bytes.
+func unpackBytes(b []byte, words []complex128) {
+	for i := 0; len(b) > 0; i++ {
+		var chunk [16]byte
+		lePutUint64(chunk[0:8], math.Float64bits(real(words[i])))
+		lePutUint64(chunk[8:16], math.Float64bits(imag(words[i])))
+		n := copy(b, chunk[:])
+		b = b[n:]
+	}
+}
+
+func leUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func lePutUint64(b []byte, v uint64) {
+	b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	b[4], b[5], b[6], b[7] = byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56)
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"soifft/internal/codec"
 	"soifft/internal/fft"
 	"soifft/internal/wire"
 )
@@ -38,6 +39,8 @@ type request struct {
 	src, dst []complex128
 	deadline time.Time // zero = none
 	enqueued time.Time
+	ver      byte        // request protocol version, echoed in the response
+	codec    codec.Codec // response payload codec (nil = identity)
 	done     func(r *request, err error)
 }
 

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"soifft"
+	"soifft/internal/codec"
 	"soifft/internal/fft"
 	"soifft/internal/trace"
 	"soifft/internal/wire"
@@ -63,6 +64,11 @@ type Config struct {
 	// connection's goroutines. Between frames a connection may idle
 	// indefinitely. Default one minute.
 	IOTimeout time.Duration
+	// CodecBudgetShare is the denominator of the lossy response-codec
+	// accuracy budget: an SOI response may be quantized to at most
+	// EstimatedError/CodecBudgetShare, so compression error stays a small
+	// fraction of the designed alias bound. Default 16.
+	CodecBudgetShare int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.IOTimeout == 0 {
 		c.IOTimeout = time.Minute
+	}
+	if c.CodecBudgetShare <= 0 {
+		c.CodecBudgetShare = 16
 	}
 	return c
 }
@@ -137,17 +146,19 @@ func New(cfg Config) *Server {
 }
 
 // maxResyncBytes is the payload size of the largest frame the configured
-// limits admit, saturating on misconfigured (absurdly large) limits.
+// limits admit — under any codec, since a compressed payload's declared
+// bound (codec.MaxEncodedLen) slightly exceeds the raw byte size — and
+// saturates on misconfigured (absurdly large) limits.
 func maxResyncBytes(maxN, maxCount int) uint64 {
 	n, c := uint64(maxN), uint64(maxCount)
 	if n > math.MaxUint64/c {
 		return math.MaxUint64
 	}
 	elems := n * c
-	if elems > math.MaxUint64/wire.BytesPerElem {
+	if elems > uint64(math.MaxInt) {
 		return math.MaxUint64
 	}
-	return elems * wire.BytesPerElem
+	return codec.MaxEncodedLen(int(elems))
 }
 
 // Breakdown exposes the server's phase accounting (queue wait / plan /
@@ -395,6 +406,13 @@ func (s *Server) executeSOI(key batchKey, live []*request) error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", wire.ErrBadRequest, err)
 	}
+	// SOI results carry a designed error bound; the wire must not dominate
+	// it. Clamp each response's lossy codec to a 1/CodecBudgetShare share of
+	// the plan's budget (the Quant stream is self-describing, so the client
+	// decodes whatever fidelity the server actually used).
+	for _, r := range live {
+		r.codec = clampResponseCodec(r.codec, plan.EstimatedError()/float64(s.cfg.CodecBudgetShare))
+	}
 	defer s.breakdown.Timer(trace.PhaseExecute)()
 	for _, r := range live {
 		for c := 0; c < r.count; c++ {
@@ -412,11 +430,29 @@ func (s *Server) executeSOI(key batchKey, live []*request) error {
 	return nil
 }
 
+// clampResponseCodec bounds a lossy response codec against an accuracy
+// budget: if the codec's per-element tolerance exceeds the budget it is
+// rebuilt at the budget, and a budget too small for any quantization falls
+// back to the lossless DeltaPlane codec. Lossless codecs (tolerance 0)
+// pass through untouched.
+func clampResponseCodec(c codec.Codec, budget float64) codec.Codec {
+	if codec.Tolerance(c) <= budget {
+		return c
+	}
+	clamped, err := codec.NewQuant(budget)
+	if err != nil {
+		return codec.MustFor(codec.DeltaPlane, 0)
+	}
+	return clamped
+}
+
 // outFrame is one response awaiting serialization on a connection.
 type outFrame struct {
 	reqID uint64
+	ver   byte // request protocol version, echoed so a v1 peer can read it
 	count int
 	data  []complex128 // result payload (returned to the pool after writing)
+	codec codec.Codec  // result payload codec (nil = identity)
 	err   error        // non-nil: error frame
 	stats string       // non-empty: stats frame
 }
@@ -491,14 +527,14 @@ func (cn *conn) dispatch(h *wire.Header) bool {
 	switch h.Type {
 	case wire.TStats:
 		s.stats.statsReqs.Add(1)
-		cn.out <- outFrame{reqID: h.ReqID, stats: s.MetricsText()}
+		cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, stats: s.MetricsText()}
 		return true
 	case wire.TForward, wire.TInverse, wire.TBatch:
 		return cn.admit(h)
 	default:
 		// Clients must not send response-typed (or unknown) frames; answer
 		// and hang up.
-		cn.out <- outFrame{reqID: h.ReqID, err: fmt.Errorf("%w: unexpected frame type %v", wire.ErrBadRequest, h.Type)}
+		cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, err: fmt.Errorf("%w: unexpected frame type %v", wire.ErrBadRequest, h.Type)}
 		return false
 	}
 }
@@ -528,6 +564,13 @@ func (cn *conn) admit(h *wire.Header) bool {
 	if h.Type != wire.TBatch && count != 1 {
 		return cn.rejectUnread(h, fmt.Errorf("%w: count=%d on a single-transform frame", wire.ErrBadRequest, count))
 	}
+	// CheckTransformPayload validated the codec ID/parameter pair, so this
+	// resolution cannot fail; the codec decodes the request payload and (for
+	// SOI, after the budget clamp in executeSOI) encodes the response.
+	reqCodec, cerr := codec.For(h.Codec, h.CodecParam)
+	if cerr != nil {
+		return cn.rejectUnread(h, fmt.Errorf("%w: %v", wire.ErrBadRequest, cerr))
+	}
 	alg, algErr := s.resolveAlg(h.Alg, n)
 
 	s.stats.accepted.Add(int64(count))
@@ -535,13 +578,25 @@ func (cn *conn) admit(h *wire.Header) bool {
 	// client that stalls mid-frame cannot hold the reader goroutine.
 	cn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 	src := s.bufs.get(elems)
-	if err := wire.ReadVector(cn.br, src); err != nil {
+	if h.Codec == codec.Identity {
+		if err := wire.ReadVector(cn.br, src); err != nil {
+			s.bufs.put(src)
+			return false
+		}
+	} else if err := codec.ReadVector(cn.br, reqCodec, src, h.PayloadLen); err != nil {
+		// A corrupt compressed payload draws a typed error frame, but the
+		// stream position within the declared payload is unknowable, so the
+		// connection cannot be resynced — answer and hang up.
 		s.bufs.put(src)
+		if errors.Is(err, codec.ErrCorrupt) {
+			s.stats.badRequest.Add(int64(count))
+			cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, err: fmt.Errorf("%w: %v", wire.ErrBadRequest, err)}
+		}
 		return false
 	}
 	if algErr != nil {
 		s.stats.badRequest.Add(int64(count))
-		cn.out <- outFrame{reqID: h.ReqID, err: algErr}
+		cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, err: algErr}
 		s.bufs.put(src)
 		return true
 	}
@@ -561,6 +616,8 @@ func (cn *conn) admit(h *wire.Header) bool {
 		src:      src,
 		dst:      s.bufs.get(elems),
 		deadline: deadline,
+		ver:      h.Version,
+		codec:    reqCodec,
 		done:     cn.completeRequest,
 	}
 	cn.pending.Add(1)
@@ -570,7 +627,7 @@ func (cn *conn) admit(h *wire.Header) bool {
 		}
 		s.bufs.put(req.src)
 		s.bufs.put(req.dst)
-		cn.out <- outFrame{reqID: h.ReqID, err: err}
+		cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, err: err}
 		cn.pending.Done()
 	}
 	return true
@@ -586,14 +643,14 @@ func (cn *conn) rejectUnread(h *wire.Header, err error) bool {
 	s := cn.srv
 	s.stats.badRequest.Add(1)
 	if h.PayloadLen > s.maxResync {
-		cn.out <- outFrame{reqID: h.ReqID, err: err}
+		cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, err: err}
 		return false
 	}
 	cn.SetReadDeadline(time.Now().Add(s.cfg.IOTimeout))
 	if derr := wire.DiscardPayload(cn.br, h.PayloadLen); derr != nil {
 		return false
 	}
-	cn.out <- outFrame{reqID: h.ReqID, err: err}
+	cn.out <- outFrame{reqID: h.ReqID, ver: h.Version, err: err}
 	return true
 }
 
@@ -604,9 +661,9 @@ func (cn *conn) completeRequest(r *request, err error) {
 	cn.srv.bufs.put(r.src)
 	if err != nil {
 		cn.srv.bufs.put(r.dst)
-		cn.out <- outFrame{reqID: r.id, err: err}
+		cn.out <- outFrame{reqID: r.id, ver: r.ver, err: err}
 	} else {
-		cn.out <- outFrame{reqID: r.id, count: r.count, data: r.dst}
+		cn.out <- outFrame{reqID: r.id, ver: r.ver, count: r.count, data: r.dst, codec: r.codec}
 	}
 	cn.pending.Done()
 }
@@ -628,11 +685,11 @@ func (cn *conn) writeLoop() {
 			if err == nil {
 				switch {
 				case f.stats != "":
-					err = wire.WriteStatsResult(bw, f.reqID, f.stats)
+					err = wire.WriteStatsResultVersion(bw, f.ver, f.reqID, f.stats)
 				case f.err != nil:
-					err = wire.WriteError(bw, f.reqID, f.err)
+					err = wire.WriteErrorVersion(bw, f.ver, f.reqID, f.err)
 				default:
-					err = wire.WriteResult(bw, f.reqID, f.count, f.data)
+					err = wire.WriteResultCodec(bw, f.ver, f.reqID, f.count, f.data, f.codec)
 				}
 			}
 			if err == nil && len(cn.out) == 0 {

@@ -6,6 +6,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"soifft/internal/codec"
 )
 
 // Native fuzz targets for the two decode surfaces a hostile or corrupted
@@ -42,6 +44,17 @@ func FuzzReadHeader(f *testing.F) {
 	badType := validHeaderBytes(TResult)
 	badType[3] = 0
 	f.Add(badType)
+	// Version 2 codec headers, and the v1-reserved-byte rejection.
+	var v2quant bytes.Buffer
+	if err := WriteHeader(&v2quant, &Header{Type: TBatch, Codec: codec.Quant, CodecParam: 30,
+		Count: 2, ReqID: 5, N: 256, PayloadLen: 300}); err != nil {
+		panic(err)
+	}
+	f.Add(v2quant.Bytes())
+	v1codec := validHeaderBytes(TForward)
+	v1codec[2] = 1
+	v1codec[5] = byte(codec.DeltaPlane)
+	f.Add(v1codec)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		h, err := ReadHeader(bytes.NewReader(data))
@@ -70,7 +83,8 @@ func FuzzReadHeader(f *testing.F) {
 		// and anything it accepts must be exactly reproducible through the
 		// CheckedSize trust boundary: an in-range element count tied to
 		// PayloadLen with no modular wrap. No header combination may pass
-		// the check yet size a buffer larger than its declared payload.
+		// the check yet size a buffer larger than the size algebra allows
+		// for its declared payload.
 		if CheckTransformPayload(&h) == nil {
 			elems, err := CheckedSize(h.N, h.Count)
 			if err != nil {
@@ -79,9 +93,19 @@ func FuzzReadHeader(f *testing.F) {
 			if elems <= 0 || uint64(elems) > maxSizeElems {
 				t.Fatalf("CheckedSize admitted out-of-range element count %d for %+v", elems, h)
 			}
-			if uint64(elems)*BytesPerElem != h.PayloadLen {
-				t.Fatalf("accepted geometry %dx%d sizes %d bytes but header declares %d",
-					h.Count, h.N, uint64(elems)*BytesPerElem, h.PayloadLen)
+			if h.Codec == codec.Identity {
+				if uint64(elems)*BytesPerElem != h.PayloadLen {
+					t.Fatalf("accepted geometry %dx%d sizes %d bytes but header declares %d",
+						h.Count, h.N, uint64(elems)*BytesPerElem, h.PayloadLen)
+				}
+			} else {
+				if _, err := codec.For(h.Codec, h.CodecParam); err != nil {
+					t.Fatalf("accepted codec %v param %d that codec.For rejects: %v", h.Codec, h.CodecParam, err)
+				}
+				if h.PayloadLen == 0 || h.PayloadLen > codec.MaxEncodedLen(elems) {
+					t.Fatalf("accepted %v payload of %d bytes outside (0,%d] for %d elems",
+						h.Codec, h.PayloadLen, codec.MaxEncodedLen(elems), elems)
+				}
 			}
 		}
 	})
@@ -140,6 +164,15 @@ func FuzzFrameSequence(f *testing.F) {
 	}
 	f.Add(frame.Bytes())
 	f.Add(frame.Bytes()[:HeaderLen+5])
+	// A valid v2 compressed frame: header + deltaplane block stream.
+	var cframe bytes.Buffer
+	enc := codec.AppendVector(nil, codec.MustFor(codec.DeltaPlane, 0), []complex128{1, 2, 3, 4})
+	ch := Header{Type: TForward, Codec: codec.DeltaPlane, Count: 1, ReqID: 2, N: 4, PayloadLen: uint64(len(enc))}
+	if err := WriteHeader(&cframe, &ch); err != nil {
+		f.Fatal(err)
+	}
+	cframe.Write(enc)
+	f.Add(cframe.Bytes())
 	// Hostile seeds: a wrap-consistent forged product (4*(2^62+1)*16 mod
 	// 2^64 equals the tiny PayloadLen) and a text frame declaring a payload
 	// far beyond the text cap.
@@ -188,6 +221,22 @@ func FuzzFrameSequence(f *testing.F) {
 					break
 				}
 				dst := make([]complex128, elems)
+				if h.Codec != codec.Identity {
+					// Compressed payload: the codec's streaming reader owns the
+					// declared length; a decode failure leaves the connection
+					// for the resync discipline (not modeled here).
+					c, err := codec.For(h.Codec, h.CodecParam)
+					if err != nil {
+						t.Fatalf("accepted codec %v param %d: %v", h.Codec, h.CodecParam, err)
+					}
+					if err := codec.ReadVector(r, c, dst, h.PayloadLen); err != nil {
+						return
+					}
+					if consumed := before - r.Len(); uint64(consumed) != h.PayloadLen {
+						t.Fatalf("codec read consumed %d bytes, header declared %d", consumed, h.PayloadLen)
+					}
+					break
+				}
 				if err := ReadVector(r, dst); err != nil {
 					return
 				}
@@ -244,5 +293,25 @@ func TestFuzzSeedsRegression(t *testing.T) {
 	}
 	if _, err := ReadText(bytes.NewReader(nil), 1<<64-1); err == nil {
 		t.Fatal("ReadText accepted a payload length beyond its cap")
+	}
+	// The v2 codec seeds, replayed: a quant header decodes with its codec
+	// fields populated, and a v1 frame reusing the codec byte is rejected.
+	var v2quant bytes.Buffer
+	if err := WriteHeader(&v2quant, &Header{Type: TBatch, Codec: codec.Quant, CodecParam: 30,
+		Count: 2, ReqID: 5, N: 256, PayloadLen: 300}); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ReadHeader(bytes.NewReader(v2quant.Bytes()))
+	if err != nil || h.Codec != codec.Quant || h.CodecParam != 30 || h.Version != Version {
+		t.Fatalf("v2 quant header decoded to %+v, %v", h, err)
+	}
+	if err := CheckTransformPayload(&h); err != nil {
+		t.Fatalf("v2 quant payload bound: %v", err)
+	}
+	v1codec := validHeaderBytes(TForward)
+	v1codec[2] = 1
+	v1codec[5] = byte(codec.DeltaPlane)
+	if _, err := ReadHeader(bytes.NewReader(v1codec)); err == nil {
+		t.Fatal("v1 frame with a codec byte accepted")
 	}
 }

@@ -9,11 +9,12 @@
 //
 //	offset size field
 //	0      2    magic (0x501F)
-//	2      1    version (1)
+//	2      1    version (1 or 2)
 //	3      1    type (TForward, TInverse, TBatch, TStats, TResult, TError, TStatsResult)
 //	4      1    alg (AlgAuto, AlgExact, AlgSOI)
-//	5      1    reserved (0)
-//	6      2    flags (bit 0: inverse direction, TBatch only)
+//	5      1    codec ID (v2; reserved, must be 0, in v1)
+//	6      1    flags (bit 0: inverse direction, TBatch only)
+//	7      1    codec parameter (v2: Quant mantissa drop bits; reserved in v1)
 //	8      4    code (error code, TError only)
 //	12     4    count (transforms in frame; 1 for TForward/TInverse)
 //	16     8    reqID (echoed verbatim in the response frame)
@@ -21,12 +22,26 @@
 //	32     8    deadline (unix nanoseconds; 0 = none)
 //	40     8    payloadLen (bytes after the header)
 //
-// Transform payloads are count*n complex128 values, each encoded as two
-// little-endian IEEE-754 float64s (real then imaginary) — 16*count*n bytes,
-// streamed in bounded chunks so neither side ever materializes a second
-// contiguous copy of a large request (a 2^24-point transform is 256 MiB of
-// payload; the codec's scratch stays at 64 KiB). TError payloads are a
-// UTF-8 message; TStatsResult payloads are UTF-8 "name value" lines.
+// Identity transform payloads are count*n complex128 values, each encoded
+// as two little-endian IEEE-754 float64s (real then imaginary) —
+// 16*count*n bytes, streamed in bounded chunks so neither side ever
+// materializes a second contiguous copy of a large request (a 2^24-point
+// transform is 256 MiB of payload; the codec's scratch stays at 64 KiB).
+// TError payloads are a UTF-8 message; TStatsResult payloads are UTF-8
+// "name value" lines.
+//
+// # Version 2: payload codecs
+//
+// Version 2 frames may compress transform payloads: header byte 5 names an
+// internal/codec ID and byte 7 carries its one-byte parameter (the Quant
+// mantissa drop count). The compressed payload is the codec's
+// self-describing block stream; PayloadLen declares its exact byte length,
+// bounded by codec.MaxEncodedLen. A v2 peer always accepts v1 frames, and
+// a response frame echoes the request's version and codec, so a v1-only
+// peer (which never sends a codec byte) interoperates untouched — the
+// identity fallback. Version 1 frames with a nonzero byte 5 or byte 7 are
+// rejected: those bytes were reserved-zero in v1, so a nonzero value is
+// corruption, not negotiation.
 //
 // Requests are identified by reqID, so a connection may pipeline: many
 // requests in flight, responses in completion order. That out-of-order
@@ -41,12 +56,17 @@ import (
 	"io"
 	"math"
 	"sync"
+
+	"soifft/internal/codec"
 )
 
-// Magic identifies a soifftd frame; Version is the protocol revision.
+// Magic identifies a soifftd frame. Version is the current protocol
+// revision; every revision down to MinVersion is still accepted, so a v1
+// peer (pre-codec) interoperates via the identity fallback.
 const (
-	Magic   uint16 = 0x501F
-	Version byte   = 1
+	Magic      uint16 = 0x501F
+	Version    byte   = 2
+	MinVersion byte   = 1
 )
 
 // HeaderLen is the fixed frame-header size in bytes.
@@ -158,9 +178,12 @@ func ErrFor(code uint32, msg string) error {
 
 // Header is the decoded fixed-size frame header.
 type Header struct {
+	Version    byte     // protocol revision; 0 encodes as the current Version
 	Type       Type
 	Alg        Alg
-	Flags      uint16
+	Codec      codec.ID // payload codec (v2; must be Identity under v1)
+	CodecParam byte     // codec parameter: Quant mantissa drop bits (v2)
+	Flags      uint16   // flag bits (low byte on the wire; high byte is CodecParam)
 	Code       uint32
 	Count      uint32
 	ReqID      uint64
@@ -175,14 +198,30 @@ func (h *Header) Inverse() bool {
 	return h.Type == TInverse || h.Flags&FlagInverse != 0
 }
 
-// WriteHeader encodes h to w.
+// WriteHeader encodes h to w. A zero h.Version writes the current Version;
+// an explicit h.Version must be within [MinVersion, Version], and a v1
+// header cannot carry a codec (those bytes were reserved-zero in v1).
 func WriteHeader(w io.Writer, h *Header) error {
+	v := h.Version
+	if v == 0 {
+		v = Version
+	}
+	if v < MinVersion || v > Version {
+		return fmt.Errorf("wire: cannot encode protocol version %d (supported %d..%d)", v, MinVersion, Version)
+	}
+	if v == 1 && (h.Codec != codec.Identity || h.CodecParam != 0) {
+		return fmt.Errorf("wire: version 1 frame cannot carry codec %v param %d", h.Codec, h.CodecParam)
+	}
+	if h.Flags>>8 != 0 {
+		return fmt.Errorf("wire: flags %#04x use the high byte, which carries the codec parameter", h.Flags)
+	}
 	var buf [HeaderLen]byte
 	binary.LittleEndian.PutUint16(buf[0:], Magic)
-	buf[2] = Version
+	buf[2] = v
 	buf[3] = byte(h.Type)
 	buf[4] = byte(h.Alg)
-	binary.LittleEndian.PutUint16(buf[6:], h.Flags)
+	buf[5] = byte(h.Codec)
+	binary.LittleEndian.PutUint16(buf[6:], h.Flags|uint16(h.CodecParam)<<8)
 	binary.LittleEndian.PutUint32(buf[8:], h.Code)
 	binary.LittleEndian.PutUint32(buf[12:], h.Count)
 	binary.LittleEndian.PutUint64(buf[16:], h.ReqID)
@@ -194,8 +233,10 @@ func WriteHeader(w io.Writer, h *Header) error {
 }
 
 // ReadHeader decodes one frame header from r, validating magic, version and
-// type. io.EOF is returned unwrapped when the stream ends cleanly between
-// frames (the normal connection-close signal).
+// type. Versions MinVersion..Version are accepted; a v1 frame whose
+// reserved codec bytes are nonzero is rejected as corrupt. io.EOF is
+// returned unwrapped when the stream ends cleanly between frames (the
+// normal connection-close signal).
 func ReadHeader(r io.Reader) (Header, error) {
 	var buf [HeaderLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
@@ -207,13 +248,21 @@ func ReadHeader(r io.Reader) (Header, error) {
 	if m := binary.LittleEndian.Uint16(buf[0:]); m != Magic {
 		return Header{}, fmt.Errorf("wire: bad magic %#04x", m)
 	}
-	if v := buf[2]; v != Version {
-		return Header{}, fmt.Errorf("wire: unsupported protocol version %d (have %d)", v, Version)
+	v := buf[2]
+	if v < MinVersion || v > Version {
+		return Header{}, fmt.Errorf("wire: unsupported protocol version %d (accept %d..%d)", v, MinVersion, Version)
+	}
+	flags := binary.LittleEndian.Uint16(buf[6:])
+	if v == 1 && (buf[5] != 0 || flags>>8 != 0) {
+		return Header{}, fmt.Errorf("wire: version 1 frame with nonzero reserved codec bytes (%d, %d)", buf[5], flags>>8)
 	}
 	h := Header{
+		Version:    v,
 		Type:       Type(buf[3]),
 		Alg:        Alg(buf[4]),
-		Flags:      binary.LittleEndian.Uint16(buf[6:]),
+		Codec:      codec.ID(buf[5]),
+		CodecParam: byte(flags >> 8),
+		Flags:      flags & 0xFF,
 		Code:       binary.LittleEndian.Uint32(buf[8:]),
 		Count:      binary.LittleEndian.Uint32(buf[12:]),
 		ReqID:      binary.LittleEndian.Uint64(buf[16:]),
@@ -247,16 +296,33 @@ func CheckedSize(n uint64, count uint32) (int, error) {
 	return int(n * uint64(count)), nil
 }
 
-// CheckTransformPayload validates that a transform frame's payload length
-// matches its declared geometry (count transforms of n points).
+// CheckTransformPayload validates a transform frame's payload length
+// against its declared geometry (count transforms of n points) and codec.
+// Identity payloads have exactly one legal length; compressed payloads are
+// data-dependent, so the declared length is bounded by the codec size
+// algebra (codec.MaxEncodedLen) — still a hard allocation cap — and the
+// codec ID/parameter pair must resolve to a codec this build understands.
 func CheckTransformPayload(h *Header) error {
 	elems, err := CheckedSize(h.N, h.Count)
 	if err != nil {
 		return err
 	}
-	want := uint64(elems) * BytesPerElem
-	if h.PayloadLen != want {
-		return fmt.Errorf("%w: payload %d bytes, geometry needs %d", ErrBadRequest, h.PayloadLen, want)
+	if h.Codec == codec.Identity {
+		if h.CodecParam != 0 {
+			return fmt.Errorf("%w: identity payload with codec parameter %d", ErrBadRequest, h.CodecParam)
+		}
+		want := uint64(elems) * BytesPerElem
+		if h.PayloadLen != want {
+			return fmt.Errorf("%w: payload %d bytes, geometry needs %d", ErrBadRequest, h.PayloadLen, want)
+		}
+		return nil
+	}
+	if _, err := codec.For(h.Codec, h.CodecParam); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	}
+	if bound := codec.MaxEncodedLen(elems); h.PayloadLen == 0 || h.PayloadLen > bound {
+		return fmt.Errorf("%w: %v payload %d bytes outside (0,%d] for %d elements",
+			ErrBadRequest, h.Codec, h.PayloadLen, bound, elems)
 	}
 	return nil
 }
@@ -340,26 +406,57 @@ func DiscardPayload(r io.Reader, n uint64) error {
 }
 
 // WriteResult writes a TResult frame carrying x (count transforms of
-// len(x)/count points each).
+// len(x)/count points each) as a raw identity payload at the current
+// protocol version.
 func WriteResult(w io.Writer, reqID uint64, count int, x []complex128) error {
+	return WriteResultCodec(w, 0, reqID, count, x, nil)
+}
+
+// WriteResultCodec writes a TResult frame carrying x encoded with c at the
+// given protocol version (0 = current; a responder passes the request's
+// version so a v1 peer can read the reply). A nil or identity codec
+// streams the raw payload in bounded chunks; a compressing codec buffers
+// the encoded payload once to learn its length — the price of a
+// length-prefixed frame.
+func WriteResultCodec(w io.Writer, version byte, reqID uint64, count int, x []complex128, c codec.Codec) error {
 	h := Header{
-		Type:       TResult,
-		Count:      uint32(count),
-		ReqID:      reqID,
-		N:          uint64(len(x) / count),
-		PayloadLen: uint64(len(x)) * BytesPerElem,
+		Version: version,
+		Type:    TResult,
+		Count:   uint32(count),
+		ReqID:   reqID,
+		N:       uint64(len(x) / count),
 	}
+	if c == nil || c.ID() == codec.Identity {
+		h.PayloadLen = uint64(len(x)) * BytesPerElem
+		if err := WriteHeader(w, &h); err != nil {
+			return err
+		}
+		return WriteVector(w, x)
+	}
+	enc := codec.AppendVector(nil, c, x)
+	h.Codec = c.ID()
+	h.CodecParam = codec.Param(c)
+	h.PayloadLen = uint64(len(enc))
 	if err := WriteHeader(w, &h); err != nil {
 		return err
 	}
-	return WriteVector(w, x)
+	_, err := w.Write(enc)
+	return err
 }
 
 // WriteError writes a TError frame for err (code via CodeFor, message is
-// err's text).
+// err's text) at the current protocol version.
 func WriteError(w io.Writer, reqID uint64, err error) error {
+	return WriteErrorVersion(w, 0, reqID, err)
+}
+
+// WriteErrorVersion is WriteError at an explicit protocol version (0 =
+// current); a responder echoes the request's version so a v1 peer can read
+// the error frame.
+func WriteErrorVersion(w io.Writer, version byte, reqID uint64, err error) error {
 	msg := []byte(err.Error())
 	h := Header{
+		Version:    version,
 		Type:       TError,
 		Code:       CodeFor(err),
 		ReqID:      reqID,
@@ -387,9 +484,17 @@ func ReadText(r io.Reader, n uint64) (string, error) {
 	return string(b), nil
 }
 
-// WriteStatsResult writes a TStatsResult frame carrying the metrics text.
+// WriteStatsResult writes a TStatsResult frame carrying the metrics text
+// at the current protocol version.
 func WriteStatsResult(w io.Writer, reqID uint64, text string) error {
+	return WriteStatsResultVersion(w, 0, reqID, text)
+}
+
+// WriteStatsResultVersion is WriteStatsResult at an explicit protocol
+// version (0 = current), for echoing a v1 request's version.
+func WriteStatsResultVersion(w io.Writer, version byte, reqID uint64, text string) error {
 	h := Header{
+		Version:    version,
 		Type:       TStatsResult,
 		ReqID:      reqID,
 		PayloadLen: uint64(len(text)),

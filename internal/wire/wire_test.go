@@ -8,6 +8,7 @@ import (
 	"testing"
 	"time"
 
+	"soifft/internal/codec"
 	"soifft/internal/ref"
 )
 
@@ -21,6 +22,11 @@ func TestHeaderRoundTrip(t *testing.T) {
 		{Type: TResult, Count: 2, ReqID: 9, N: 8, PayloadLen: 2 * 8 * BytesPerElem},
 		{Type: TError, Code: CodeOverloaded, ReqID: 5, PayloadLen: 10},
 		{Type: TStatsResult, ReqID: 6, PayloadLen: 20},
+		// Version 1 is still encodable (the compat path) and round-trips.
+		{Version: 1, Type: TForward, Count: 1, ReqID: 11, N: 64, PayloadLen: 64 * BytesPerElem},
+		// Version 2 codec headers carry the codec ID and parameter.
+		{Type: TForward, Codec: codec.DeltaPlane, Count: 1, ReqID: 12, N: 64, PayloadLen: 99},
+		{Type: TBatch, Codec: codec.Quant, CodecParam: 30, Flags: FlagInverse, Count: 2, ReqID: 13, N: 64, PayloadLen: 99},
 	} {
 		var buf bytes.Buffer
 		if err := WriteHeader(&buf, &h); err != nil {
@@ -33,9 +39,53 @@ func TestHeaderRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v: %v", h.Type, err)
 		}
-		if got != h {
-			t.Errorf("round trip of %+v gave %+v", h, got)
+		want := h
+		if want.Version == 0 {
+			want.Version = Version
 		}
+		if got != want {
+			t.Errorf("round trip of %+v gave %+v", want, got)
+		}
+	}
+}
+
+func TestHeaderVersionRules(t *testing.T) {
+	// A v1 header cannot carry a codec or codec parameter.
+	for _, h := range []Header{
+		{Version: 1, Type: TForward, Codec: codec.DeltaPlane, Count: 1, N: 8, PayloadLen: 1},
+		{Version: 1, Type: TForward, CodecParam: 9, Count: 1, N: 8, PayloadLen: 1},
+		{Version: 9, Type: TForward, Count: 1, N: 8, PayloadLen: 1},
+		{Type: TForward, Flags: 0x0200, Count: 1, N: 8, PayloadLen: 1}, // flags high byte is the codec param's
+	} {
+		if err := WriteHeader(io.Discard, &h); err == nil {
+			t.Errorf("WriteHeader accepted %+v", h)
+		}
+	}
+
+	// On the read side, a v1 frame with nonzero reserved codec bytes is
+	// corruption, not negotiation.
+	frame := func(mut func(b []byte)) []byte {
+		var buf bytes.Buffer
+		h := Header{Type: TForward, Count: 1, N: 8, PayloadLen: 8 * BytesPerElem}
+		if err := WriteHeader(&buf, &h); err != nil {
+			t.Fatal(err)
+		}
+		b := buf.Bytes()
+		mut(b)
+		return b
+	}
+	v1codec := frame(func(b []byte) { b[2] = 1; b[5] = byte(codec.DeltaPlane) })
+	if _, err := ReadHeader(bytes.NewReader(v1codec)); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("v1 frame with codec byte: %v", err)
+	}
+	v1param := frame(func(b []byte) { b[2] = 1; b[7] = 30 })
+	if _, err := ReadHeader(bytes.NewReader(v1param)); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("v1 frame with codec param byte: %v", err)
+	}
+	// The same codec byte under v2 is a legal codec header.
+	v2codec := frame(func(b []byte) { b[5] = byte(codec.DeltaPlane) })
+	if h, err := ReadHeader(bytes.NewReader(v2codec)); err != nil || h.Codec != codec.DeltaPlane {
+		t.Errorf("v2 codec frame: %+v, %v", h, err)
 	}
 }
 
@@ -134,9 +184,16 @@ func TestCheckedSize(t *testing.T) {
 }
 
 func TestCheckTransformPayload(t *testing.T) {
-	ok := Header{Type: TBatch, Count: 3, N: 64, PayloadLen: 3 * 64 * BytesPerElem}
-	if err := CheckTransformPayload(&ok); err != nil {
-		t.Error(err)
+	for _, h := range []Header{
+		{Type: TBatch, Count: 3, N: 64, PayloadLen: 3 * 64 * BytesPerElem},
+		// Compressed payloads: any length in (0, MaxEncodedLen] is plausible.
+		{Type: TForward, Codec: codec.DeltaPlane, Count: 1, N: 64, PayloadLen: 1},
+		{Type: TForward, Codec: codec.DeltaPlane, Count: 1, N: 64, PayloadLen: codec.MaxEncodedLen(64)},
+		{Type: TBatch, Codec: codec.Quant, CodecParam: 30, Count: 3, N: 64, PayloadLen: 200},
+	} {
+		if err := CheckTransformPayload(&h); err != nil {
+			t.Errorf("header %+v: %v", h, err)
+		}
 	}
 	for _, h := range []Header{
 		{Type: TForward, Count: 1, N: 0, PayloadLen: 0},
@@ -147,6 +204,15 @@ func TestCheckTransformPayload(t *testing.T) {
 		// tiny PayloadLen, so a modular check would admit a huge allocation.
 		{Type: TBatch, Count: 4, N: 1<<62 + 1, PayloadLen: 64},
 		{Type: TForward, Count: 1, N: 1<<64 - 1, PayloadLen: 1<<64 - BytesPerElem},
+		// Codec-aware rejections: identity with a stray parameter, a codec
+		// payload above the size-algebra bound or empty, an unknown codec ID,
+		// and a Quant header whose drop-bits parameter is out of range.
+		{Type: TForward, CodecParam: 9, Count: 1, N: 64, PayloadLen: 64 * BytesPerElem},
+		{Type: TForward, Codec: codec.DeltaPlane, Count: 1, N: 64, PayloadLen: codec.MaxEncodedLen(64) + 1},
+		{Type: TForward, Codec: codec.DeltaPlane, Count: 1, N: 64, PayloadLen: 0},
+		{Type: TForward, Codec: codec.ID(9), Count: 1, N: 64, PayloadLen: 64},
+		{Type: TForward, Codec: codec.Quant, CodecParam: 0, Count: 1, N: 64, PayloadLen: 64},
+		{Type: TForward, Codec: codec.Quant, CodecParam: 77, Count: 1, N: 64, PayloadLen: 64},
 	} {
 		if err := CheckTransformPayload(&h); !errors.Is(err, ErrBadRequest) {
 			t.Errorf("header %+v: %v, want ErrBadRequest", h, err)

@@ -1,0 +1,114 @@
+#!/bin/sh
+# Payload-codec benchmark: compression ratio x end-to-end throughput for
+# each codec (identity, deltaplane, quant) on the two transports that carry
+# payloads, at Fig-11 geometry sizes (N = S^2*7*64 for S=8,32).
+#
+# Three groups of cells, all assembled into BENCH_codec.json:
+#
+#   codecbench   block-stream ratio, encode/decode MB/s and round-trip
+#                error per codec on smooth and noise signals, plus the
+#                in-process mpi.AllToAll wall time under mpi.WithCodec
+#   serve        soifftd + soiload on loopback, smooth payloads, one cell
+#                per codec (the wire-protocol path)
+#   soi_dist     cmd/soifft distributed SOI runs, one cell per codec per
+#                Fig-11 size (the all-to-all path); the quant cells run at
+#                tolerance 0 = the plan's own accuracy budget, so the
+#                measured error lands against EstimatedError
+#
+#   ./scripts/bench_codec.sh            # ~2 min with the default windows
+#   DURATION=10s ./scripts/bench_codec.sh
+cd "$(dirname "$0")/.." || exit 2
+
+SIZES="${SIZES:-28672,458752}"      # Fig-11 geometry: S^2*7*64, S=8,32
+SERVE_N="${SERVE_N:-28672}"
+TOL="${TOL:-2.1e-8}"                # paper bound for mu=8/7, B=72
+RANKS="${RANKS:-4}"
+CONNS="${CONNS:-4}"
+PIPELINE="${PIPELINE:-2}"
+DURATION="${DURATION:-5s}"
+WARMUP="${WARMUP:-2s}"
+ADDR="${ADDR:-127.0.0.1:7312}"
+OUT="${OUT:-BENCH_codec.json}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"; [ -n "$srv_pid" ] && kill "$srv_pid" 2>/dev/null' EXIT
+
+echo "== building codecbench + soifftd + soiload + soifft"
+go build -o "$tmp/codecbench" ./cmd/codecbench || exit 1
+go build -o "$tmp/soifftd" ./cmd/soifftd || exit 1
+go build -o "$tmp/soiload" ./cmd/soiload || exit 1
+go build -o "$tmp/soifft" ./cmd/soifft || exit 1
+
+echo "== codecbench (block streams + mpi.AllToAll, sizes $SIZES)"
+"$tmp/codecbench" -sizes "$SIZES" -tol "$TOL" -ranks "$RANKS" \
+    >"$tmp/codecbench.json" || exit 1
+jq -r '.cells[] | select(.signal == "smooth")
+       | "   \(.codec)/smooth n=\(.n): ratio \(.ratio * 100 | floor / 100), max rel err \(.max_rel_err)"' \
+    "$tmp/codecbench.json"
+
+# serve_cell <codec>
+serve_cell() {
+    c="$1"
+    echo "== serve/$c (n=$SERVE_N, smooth payloads)"
+    "$tmp/soifftd" -listen "$ADDR" >"$tmp/serve_$c.log" 2>&1 &
+    srv_pid=$!
+    "$tmp/soiload" -addr "$ADDR" -n "$SERVE_N" -c "$CONNS" -pipeline "$PIPELINE" \
+        -signal smooth -codec "$c" -codec-tolerance "$TOL" \
+        -duration "$DURATION" -warmup "$WARMUP" -json \
+        >"$tmp/serve_$c.json" || { cat "$tmp/serve_$c.log"; exit 1; }
+    kill -TERM "$srv_pid" && wait "$srv_pid" 2>/dev/null
+    srv_pid=""
+    jq -r '"   \(.ops_per_s | floor) transforms/s, p99 \(.p99_us | floor)us, \(.errors) errors"' \
+        "$tmp/serve_$c.json"
+}
+
+serve_cell identity
+serve_cell deltaplane
+serve_cell quant
+
+# dist_cell <codec> <n> <segments>
+dist_cell() {
+    c="$1"; n="$2"; segs="$3"
+    echo "== soi_dist/$c (N=$n, segments=$segs, ranks=$RANKS)"
+    "$tmp/soifft" -n "$n" -ranks "$RANKS" -segments "$segs" -codec "$c" -json \
+        >"$tmp/dist_${c}_${n}.json" || { cat "$tmp/dist_${c}_${n}.json"; exit 1; }
+    jq -r '"   wall \(.wall_s * 1000 | floor)ms, rel err \(.rel_err_l2), designed bound \(.estimated_error)"' \
+        "$tmp/dist_${c}_${n}.json"
+}
+
+for c in identity deltaplane quant; do
+    dist_cell "$c" 28672 8
+    dist_cell "$c" 458752 32
+done
+
+jq -s '.' "$tmp"/dist_*.json >"$tmp/dist_all.json"
+
+jq -n \
+    --slurpfile cb "$tmp/codecbench.json" \
+    --slurpfile si "$tmp/serve_identity.json" \
+    --slurpfile sd "$tmp/serve_deltaplane.json" \
+    --slurpfile sq "$tmp/serve_quant.json" \
+    --slurpfile dist "$tmp/dist_all.json" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg goos "$(go env GOOS)" --arg goarch "$(go env GOARCH)" \
+    --arg nproc "$(nproc)" \
+    '{
+        bench: "codec",
+        date: $date,
+        host: {goos: $goos, goarch: $goarch, cpus: ($nproc | tonumber)},
+        codecbench: $cb[0],
+        serve: {identity: $si[0], deltaplane: $sd[0], quant: $sq[0]},
+        soi_dist: $dist[0],
+        headline: {
+            smooth_ratio_deltaplane: ([$cb[0].cells[] | select(.codec == "deltaplane" and .signal == "smooth") | .ratio] | min),
+            smooth_ratio_quant: ([$cb[0].cells[] | select(.codec == "quant" and .signal == "smooth") | .ratio] | min),
+            quant_tol: $cb[0].tol,
+            quant_max_rel_err: ([$cb[0].cells[] | select(.codec == "quant") | .max_rel_err] | max),
+            quant_dist_err_vs_bound: ([$dist[0][] | select(.codec == "quant") | (.rel_err_l2 / .estimated_error)] | max),
+            serve_rel_throughput_deltaplane: ($sd[0].ops_per_s / $si[0].ops_per_s),
+            serve_rel_throughput_quant: ($sq[0].ops_per_s / $si[0].ops_per_s)
+        }
+    }' >"$OUT" || exit 1
+
+echo "== wrote $OUT"
+jq '.headline' "$OUT"

@@ -43,7 +43,7 @@ run_gate "soilint ./..." go run ./cmd/soilint -timing-budget-file timing_budget.
 # wire-taint analyzers also gate individually: a regression then names the
 # failing check in the gate summary instead of hiding inside the combined
 # run (the loader cache makes the repeats cheap).
-for check in goleak chanlife deadlineflow lockorder poolflow closeflow wireconform taintflow intflow; do
+for check in goleak chanlife deadlineflow lockorder poolflow closeflow wireconform taintflow intflow codecflow; do
     run_gate "soilint -checks $check" go run ./cmd/soilint -checks "$check" ./...
 done
 run_gate "escapebudget (hot-kernel escape gate)" go run ./cmd/escapebudget
@@ -51,11 +51,15 @@ run_gate "bcebudget (bounds-check gate)" go run ./cmd/bcebudget
 run_gate "go test -race (concurrency gate)" go test -race ./internal/par ./internal/mpi ./internal/cluster ./internal/dist ./internal/serve ./internal/wire ./client
 run_gate "go test -race (fault-injection sweep)" go test -race ./internal/faultcomm ./internal/testutil
 
-# Fuzz smoke: each wire decode surface gets a brief randomized pass beyond
-# the checked-in corpus. `go test -fuzz` accepts exactly one target per
-# invocation, hence one gate per target.
+# Fuzz smoke: each untrusted decode surface gets a brief randomized pass
+# beyond the checked-in corpus — the wire frame codec and the payload block
+# codecs. `go test -fuzz` accepts exactly one target per invocation, hence
+# one gate per target.
 for target in FuzzReadHeader FuzzReadVector FuzzFrameSequence; do
     run_gate "fuzz smoke $target" go test ./internal/wire -run '^$' -fuzz "^${target}\$" -fuzztime 5s
+done
+for target in FuzzCodecRoundTrip FuzzCodecDecode; do
+    run_gate "fuzz smoke $target" go test ./internal/codec -run '^$' -fuzz "^${target}\$" -fuzztime 5s
 done
 
 if [ -n "$failures" ]; then
