@@ -1,0 +1,124 @@
+package conv
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"soifft/internal/cvec"
+	"soifft/internal/ref"
+	"soifft/internal/window"
+)
+
+// propParams draws a random valid window geometry. The generator walks the
+// constraint chain of window.Validate directly: pick the oversampling ratio
+// and a segment count large enough for it, then build N from an integral
+// chunk count, then a width B >= DMu.
+func propParams(rng *rand.Rand) window.Params {
+	ratios := [][2]int{{8, 7}, {5, 4}, {3, 2}, {9, 8}, {7, 5}}
+	r := ratios[rng.Intn(len(ratios))]
+	nmu, dmu := r[0], r[1]
+	var segs int
+	for {
+		segs = 3 + rng.Intn(8)
+		if segs*dmu > 2*nmu-dmu { // Segments > 2*mu - 1
+			break
+		}
+	}
+	chunks := 2 + rng.Intn(5)
+	return window.Params{
+		N:        dmu * segs * segs * chunks,
+		Segments: segs,
+		NMu:      nmu,
+		DMu:      dmu,
+		B:        dmu + rng.Intn(32),
+	}
+}
+
+// TestSoAPropertyMatchesAoS pins ApplySoA ≡ Apply(Buffered) across
+// randomized geometry (segments, mu, B), chunk sub-ranges, and worker
+// counts. Both paths compute the same inner products with identical
+// accumulation order per lane, so the tolerance only covers reassociation
+// introduced by the compiler, not algorithmic drift.
+func TestSoAPropertyMatchesAoS(t *testing.T) {
+	iters := 40
+	if testing.Short() {
+		iters = 8
+	}
+	rng := rand.New(rand.NewSource(20260808))
+	for it := 0; it < iters; it++ {
+		p := propParams(rng)
+		f, err := window.Design(p)
+		if err != nil {
+			t.Fatalf("iter %d: Design(%+v): %v", it, p, err)
+		}
+		C := f.Chunks()
+		c0 := rng.Intn(C)
+		c1 := c0 + 1 + rng.Intn(C-c0)
+		workers := 1 + rng.Intn(5)
+
+		x := ref.RandomVector(InputLen(f, c0, c1), int64(it)+1)
+		want := make([]complex128, OutputLen(f, c0, c1))
+		Apply(Buffered, f, want, x, c0, c1, workers)
+
+		us := cvec.NewSoA(OutputLen(f, c0, c1))
+		ApplySoA(f, us, cvec.FromComplex(x), c0, c1, workers)
+		if e := cvec.RelErrL2(us.ToComplex(), want); e > 1e-13 {
+			t.Errorf("iter %d %+v range [%d,%d) workers=%d: SoA differs from AoS by %g",
+				it, p, c0, c1, workers, e)
+		}
+	}
+}
+
+// TestSoASharedPlaneRaceHammer drives the shared-plane worker partitioning
+// under the race detector: many concurrent ApplySoA calls read the same
+// input planes, several of them writing adjacent chunk ranges of one shared
+// output plane pair (disjoint element ranges of the same backing arrays —
+// exactly the aliasing pattern the distributed per-rank split produces).
+// The assertions double as a correctness check; the real teeth come from
+// running the package tests with -race.
+func TestSoASharedPlaneRaceHammer(t *testing.T) {
+	f := design(t, smallParams())
+	C := f.Chunks()
+	x := ref.RandomVector(InputLen(f, 0, C), 99)
+	xs := cvec.FromComplex(x)
+	want := make([]complex128, OutputLen(f, 0, C))
+	Apply(Buffered, f, want, x, 0, C, 1)
+
+	iters := 30
+	if testing.Short() {
+		iters = 5
+	}
+	k := C / 2
+	loLen := OutputLen(f, 0, k)
+	inOff := k * f.DMu * f.Segments
+	for it := 0; it < iters; it++ {
+		shared := cvec.NewSoA(OutputLen(f, 0, C))
+		whole := cvec.NewSoA(OutputLen(f, 0, C))
+		var wg sync.WaitGroup
+		wg.Add(3)
+		// Two writers split one output plane pair at the chunk boundary;
+		// a third computes the whole range into its own buffer. All three
+		// read xs concurrently, each with internal worker parallelism.
+		go func() {
+			defer wg.Done()
+			ApplySoA(f, shared.Slice(0, loLen), xs, 0, k, 2)
+		}()
+		go func() {
+			defer wg.Done()
+			ApplySoA(f, shared.Slice(loLen, shared.Len()),
+				cvec.SoA{Re: xs.Re[inOff:], Im: xs.Im[inOff:]}, k, C, 2)
+		}()
+		go func() {
+			defer wg.Done()
+			ApplySoA(f, whole, xs, 0, C, 3)
+		}()
+		wg.Wait()
+		if e := cvec.RelErrL2(shared.ToComplex(), want); e != 0 {
+			t.Fatalf("iter %d: shared-plane split differs from AoS by %g", it, e)
+		}
+		if e := cvec.RelErrL2(whole.ToComplex(), want); e != 0 {
+			t.Fatalf("iter %d: whole-range result differs from AoS by %g", it, e)
+		}
+	}
+}

@@ -52,8 +52,10 @@ func TestCodeletInverseThroughPlan(t *testing.T) {
 }
 
 func TestRadix8Schedule(t *testing.T) {
-	// Powers of two must factor into radix-8 passes with a small remainder.
-	radices, smooth := factorize(1 << 12)
+	// Powers of two factor into radix-8 passes while the accumulated stride
+	// stays off the 4 KiB-aliasing lattice (s = 1, 8, 64), then radix-4
+	// passes with at most one radix-2 remainder (see factorize).
+	radices, smooth := factorize(1<<12, 1)
 	if !smooth {
 		t.Fatal("2^12 not smooth")
 	}
@@ -63,16 +65,22 @@ func TestRadix8Schedule(t *testing.T) {
 			eights++
 		}
 	}
-	if eights != 4 {
-		t.Errorf("2^12 schedule %v: want four radix-8 passes", radices)
+	if eights != 3 {
+		t.Errorf("2^12 schedule %v: want three radix-8 passes", radices)
 	}
-	radices, _ = factorize(1 << 13) // 8,8,8,8,2
-	if len(radices) != 5 || radices[4] != 2 {
+	radices, _ = factorize(1<<13, 1) // 8,8,8,4,4
+	if len(radices) != 5 || radices[3] != 4 || radices[4] != 4 {
 		t.Errorf("2^13 schedule %v", radices)
 	}
-	radices, _ = factorize(1 << 14) // 8,8,8,8,4
-	if len(radices) != 5 || radices[4] != 4 {
+	radices, _ = factorize(1<<14, 1) // 8,8,8,4,4,2
+	if len(radices) != 6 || radices[5] != 2 {
 		t.Errorf("2^14 schedule %v", radices)
+	}
+	// A lane batch starts its stride at `lanes`, so it leaves radix-8 for
+	// radix-4 a stage sooner.
+	radices, _ = factorize(1<<9, 8) // 8,8,4,2 (strides 8, 64, 512, 2048)
+	if len(radices) != 4 || radices[2] != 4 || radices[3] != 2 {
+		t.Errorf("2^9 lane-8 schedule %v", radices)
 	}
 }
 

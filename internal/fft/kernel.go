@@ -1,0 +1,156 @@
+package fft
+
+import "soifft/internal/cvec"
+
+// This file is the kernel-backend seam. A backend is one implementation of
+// the Stockham stage pipeline in a fixed memory layout:
+//
+//   - aosKernel: array-of-structs, []complex128 — the original scalar code
+//     in stockham.go.
+//   - soaKernel: struct-of-arrays, separate float64 real/imaginary planes
+//     (cvec.SoA) — the paper's §5.2.4 layout ("internally use 'Struct of
+//     Arrays' ... avoiding gather and scatter or cross-lane operations"),
+//     implemented in soa_stockham.go. The four accumulation streams of
+//     every butterfly become independent float64 recurrences over
+//     contiguous planes with hoisted bounds proofs.
+//
+// Both backends execute the same layout-independent stage schedule (the
+// []stage built by buildStages; the SoA twiddle planes are split from the
+// AoS tables lazily, so AoS-only users pay nothing). A future assembly or
+// AVX backend implements kernel.runStage for its layout and plugs into
+// pickKernel — nothing above the seam changes.
+//
+// Layout policy: for Plan and LaneBatch the layout follows the call
+// (Transform runs AoS, TransformSoA runs SoA — no hidden conversion). For
+// SixStep the backend is chosen per (n, variant) at plan time, because its
+// two staging copies (tile gather, row scatter) let the SoA path convert
+// layout for free inside sweeps it performs anyway.
+
+// Layout identifies the memory layout a kernel operates on.
+type Layout uint8
+
+const (
+	// LayoutAoS is interleaved []complex128.
+	LayoutAoS Layout = iota
+	// LayoutSoA is split real/imaginary float64 planes (cvec.SoA).
+	LayoutSoA
+)
+
+// String returns the label used in benchmark output and BENCH files.
+func (l Layout) String() string {
+	if l == LayoutSoA {
+		return "soa"
+	}
+	return "aos"
+}
+
+// Backend selects a kernel implementation family for plans that bind one
+// at build time (SixStep, and the serving lane executor).
+type Backend uint8
+
+const (
+	// BackendAuto resolves to PickBackend's choice for the (n, variant).
+	BackendAuto Backend = iota
+	// BackendAoS forces the interleaved []complex128 kernels.
+	BackendAoS
+	// BackendSoA forces the split-plane kernels.
+	BackendSoA
+)
+
+// String returns the label used in flags, benchmark output and BENCH files.
+func (b Backend) String() string {
+	switch b {
+	case BackendAoS:
+		return "aos"
+	case BackendSoA:
+		return "soa"
+	default:
+		return "auto"
+	}
+}
+
+// PickBackend resolves BackendAuto for a SixStep of length n with the given
+// variant. The SoA backend implements the fused Opt schedule; the
+// pipelined and fine-grain variants are AoS-only ablation flavors (their
+// specialization is team scheduling, not layout), and the naive variant
+// exists to measure the unfused cost, so all three stay AoS. Smoothness is
+// not required: rough row/column lengths fall back to Bluestein through
+// the per-plan conversion path, which the six-step's staging sweeps absorb.
+func PickBackend(n int, v Variant) Backend {
+	if v != SixStepOpt {
+		return BackendAoS
+	}
+	return BackendSoA
+}
+
+// PickLaneBackend resolves BackendAuto for a lane-interleaved batch of
+// `lanes` transforms of length n (the serving executor's kernel). The SoA
+// stage loops win once the combined inner index n*lanes is long enough to
+// amortize the per-stage plane bookkeeping; tiny batches stay AoS.
+func PickLaneBackend(n, lanes int) Backend {
+	if n*lanes >= 1024 {
+		return BackendSoA
+	}
+	return BackendAoS
+}
+
+// vec is a layout-tagged vector handle: exactly one representation is
+// valid, per the owning kernel's Layout.
+type vec struct {
+	aos    []complex128
+	planes cvec.SoA
+}
+
+// kernel executes one Stockham pass in its layout. y and x are the
+// ping-pong pair; both carry the representation matching Layout().
+type kernel interface {
+	Layout() Layout
+	runStage(st *stage, y, x vec)
+}
+
+// aosKernel is the interleaved-complex backend (stockham.go).
+type aosKernel struct{}
+
+func (aosKernel) Layout() Layout { return LayoutAoS }
+
+func (aosKernel) runStage(st *stage, y, x vec) {
+	runStage(st, y.aos, x.aos)
+}
+
+// soaKernel is the split-plane backend (soa_stockham.go). Stages must have
+// their twiddle planes populated (ensureSoAStages) before use.
+type soaKernel struct{}
+
+func (soaKernel) Layout() Layout { return LayoutSoA }
+
+func (soaKernel) runStage(st *stage, y, x vec) {
+	runStageSoA(st, y.planes, x.planes)
+}
+
+// pickKernel returns the backend implementation for b (which must be
+// resolved, not Auto).
+func pickKernel(b Backend) kernel {
+	if b == BackendSoA {
+		return soaKernel{}
+	}
+	return aosKernel{}
+}
+
+// ensureSoAStages splits each stage's twiddle tables into float64 planes.
+// Called once per plan (under the owner's sync.Once) before the SoA kernel
+// first runs; AoS-only plans never pay the extra memory.
+func ensureSoAStages(stages []stage) {
+	for i := range stages {
+		st := &stages[i]
+		st.twRe, st.twIm = splitPlanes(st.tw)
+		if st.wr != nil {
+			st.wrRe, st.wrIm = splitPlanes(st.wr)
+		}
+	}
+}
+
+// splitPlanes converts a complex table into freshly allocated planes.
+func splitPlanes(t []complex128) (re, im []float64) {
+	s := cvec.FromComplex(t)
+	return s.Re, s.Im
+}

@@ -20,6 +20,7 @@ type LaneBatch struct {
 	n, lanes int
 	stages   []stage
 	work     sync.Pool
+	soa      soaState // lazy SoA resources (soa_lane.go)
 }
 
 // NewLaneBatch builds a batch plan for `lanes` interleaved transforms of
@@ -29,7 +30,10 @@ func NewLaneBatch(n, lanes int) (*LaneBatch, error) {
 	if n < 1 || lanes < 1 {
 		return nil, fmt.Errorf("fft: invalid LaneBatch %d x %d", n, lanes)
 	}
-	radices, smooth := factorize(n)
+	// The accumulated stride starts at `lanes`, so the alias-avoidance
+	// schedule must see it too: a lane batch reaches page-aliasing strides
+	// `lanes` times sooner than a scalar plan of the same length.
+	radices, smooth := factorize(n, lanes)
 	if !smooth {
 		return nil, fmt.Errorf("fft: LaneBatch length %d has a large prime factor", n)
 	}

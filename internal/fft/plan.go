@@ -34,6 +34,7 @@ type Plan struct {
 	stages []stage    // mixed-radix schedule (nil when blue != nil or n <= 2)
 	blue   *bluestein // chirp-z fallback for rough sizes
 	work   sync.Pool
+	soa    soaState // lazy SoA resources (soa_plan.go)
 }
 
 // stage describes one Stockham pass: the current sub-transform length is
@@ -43,6 +44,10 @@ type stage struct {
 	r, m, s int
 	tw      []complex128
 	wr      []complex128 // wr[t*r+u] = exp(-2*pi*i*t*u/r); nil for r=2,3,4
+	// Split-plane twiddle tables for the SoA backend; populated lazily by
+	// ensureSoAStages (kernel.go) so AoS-only plans never allocate them.
+	twRe, twIm []float64
+	wrRe, wrIm []float64
 }
 
 // NewPlan creates a transform plan for length n (n >= 1).
@@ -60,7 +65,7 @@ func NewPlan(n int) (*Plan, error) {
 	if n <= 2 {
 		return p, nil
 	}
-	radices, smooth := factorize(n)
+	radices, smooth := factorize(n, 1)
 	if !smooth {
 		b, err := newBluestein(n)
 		if err != nil {
@@ -88,25 +93,45 @@ func MustPlan(n int) *Plan {
 //soilint:shape return == n
 func (p *Plan) N() int { return p.n }
 
+// aliasingStride8 reports whether a radix-8 butterfly whose write legs are
+// separated by s complex elements maps all eight of them onto one L1 set
+// group. 256 complex elements = 4096 bytes in AoS layout; the SoA planes
+// alias at s%512 == 0, so the AoS criterion covers both layouts.
+func aliasingStride8(s int) bool { return s%256 == 0 }
+
 // factorize splits n into the radix schedule used by the Stockham kernel.
 // Powers of two are emitted as radix-8 passes with a radix-4/2 remainder:
 // the specialized high-radix butterflies cut the number of passes over
 // memory to ~log8(n) — the same motivation as the paper's radix-8/16
-// register blocking (Section 5.2.4). Returns smooth=false when n has a
-// prime factor > maxGenericRadix.
-func factorize(n int) (radices []int, smooth bool) {
+// register blocking (Section 5.2.4).
+//
+// strideMul is the stride the first stage starts at (1 for a Plan, `lanes`
+// for a LaneBatch) and gates the radix-8 emission: once the accumulated
+// stride lands on the 4 KiB-aliasing lattice (aliasingStride8), the
+// remaining power-of-two factors come out as radix-4 passes. An aliasing
+// radix-8 stage needs 16 L1 ways per set (8 write legs on top of the 8
+// aliasing read legs every power-of-two length has) against 8-way hardware
+// and thrashes at every working-set size; a radix-4 stage needs exactly 8
+// ways and stays at streaming bandwidth, so two radix-4 passes beat one
+// thrashing radix-8 pass on both kernel layouts.
+//
+// Returns smooth=false when n has a prime factor > maxGenericRadix.
+func factorize(n, strideMul int) (radices []int, smooth bool) {
 	e2 := 0
 	for n%2 == 0 {
 		e2++
 		n /= 2
 	}
-	for ; e2 >= 3; e2 -= 3 {
+	s := strideMul
+	for e2 >= 3 && !aliasingStride8(s) {
 		radices = append(radices, 8) //soilint:ignore hotalloc plan-time factorization, O(log n) appends
+		s *= 8
+		e2 -= 3
 	}
-	switch e2 {
-	case 2:
-		radices = append(radices, 4)
-	case 1:
+	for ; e2 >= 2; e2 -= 2 {
+		radices = append(radices, 4) //soilint:ignore hotalloc plan-time factorization, O(log n) appends
+	}
+	if e2 == 1 {
 		radices = append(radices, 2)
 	}
 	for _, r := range []int{3, 5, 7, 11, 13} {

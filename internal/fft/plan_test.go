@@ -22,31 +22,9 @@ var testSizes = []int{
 	7 * 16, 8 * 16, 5 * 64, 7 * 64, 8 * 64, 1280, 1792, 2048,
 }
 
-func TestForwardMatchesReferenceDFT(t *testing.T) {
-	for _, n := range testSizes {
-		p := MustPlan(n)
-		x := ref.RandomVector(n, int64(n))
-		got := make([]complex128, n)
-		p.Forward(got, x)
-		want := ref.DFT(x)
-		if err := cvec.RelErrL2(got, want); err > 1e-11 {
-			t.Errorf("n=%d: forward relative error %g", n, err)
-		}
-	}
-}
-
-func TestInverseMatchesReferenceIDFT(t *testing.T) {
-	for _, n := range testSizes {
-		p := MustPlan(n)
-		x := ref.RandomVector(n, int64(2*n+1))
-		got := make([]complex128, n)
-		p.Inverse(got, x)
-		want := ref.IDFT(x)
-		if err := cvec.RelErrL2(got, want); err > 1e-11 {
-			t.Errorf("n=%d: inverse relative error %g", n, err)
-		}
-	}
-}
+// Forward/Inverse comparisons against the dense reference DFT live in the
+// kernel-oracle suite (oracle_test.go), which drives every engine, layout
+// and direction through shared oracles.
 
 func TestRoundTrip(t *testing.T) {
 	for _, n := range testSizes {
@@ -129,7 +107,7 @@ func TestFactorize(t *testing.T) {
 		{17, false}, {2 * 17, false}, {1 << 20, true}, {7 * (1 << 10), true},
 	}
 	for _, c := range cases {
-		radices, smooth := factorize(c.n)
+		radices, smooth := factorize(c.n, 1)
 		if smooth != c.smooth {
 			t.Errorf("factorize(%d): smooth=%v want %v", c.n, smooth, c.smooth)
 		}

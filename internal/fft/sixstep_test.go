@@ -7,42 +7,11 @@ import (
 	"soifft/internal/ref"
 )
 
-var sixStepSizes = []int{16, 64, 100, 144, 210, 256, 1024, 4096, 1 << 14, 5 * 1024, 7 * 1024}
-
-func TestSixStepMatchesPlan(t *testing.T) {
-	for _, variant := range AllVariants {
-		for _, n := range sixStepSizes {
-			s, err := NewSixStep(n, variant, 4)
-			if err != nil {
-				t.Fatalf("%v n=%d: %v", variant, n, err)
-			}
-			x := ref.RandomVector(n, int64(n)+int64(variant))
-			want := make([]complex128, n)
-			MustPlan(n).Forward(want, x)
-			got := make([]complex128, n)
-			s.Forward(got, x)
-			if e := cvec.RelErrL2(got, want); e > 1e-11 {
-				t.Errorf("%v n=%d: relative error %g", variant, n, e)
-			}
-		}
-	}
-}
-
-func TestSixStepSmallVsReferenceDFT(t *testing.T) {
-	for _, variant := range AllVariants {
-		n := 144
-		s, err := NewSixStep(n, variant, 2)
-		if err != nil {
-			t.Fatal(err)
-		}
-		x := ref.RandomVector(n, 77)
-		got := make([]complex128, n)
-		s.Forward(got, x)
-		if e := cvec.RelErrL2(got, ref.DFT(x)); e > 1e-12 {
-			t.Errorf("%v: error vs reference DFT %g", variant, e)
-		}
-	}
-}
+// SixStep correctness against the reference DFT and the plain Plan lives in
+// the kernel-oracle suite (oracle_test.go), which covers every variant and
+// both kernel backends at smooth, rough and Fig. 11 sizes. The tests below
+// cover the features the oracle table doesn't parameterize: demod fusion,
+// argument validation and variant metadata.
 
 func TestSixStepDemodFusion(t *testing.T) {
 	n := 2048

@@ -1,0 +1,135 @@
+package fft
+
+import "math"
+
+// Split-plane codelets: the SoA twins of codelets.go, used by the SoA plan
+// path for the hot tiny sizes (n = 4, 8, 16). Same algebra, same operation
+// order, expanded to float64 streams; like their AoS twins they read every
+// input before the first write, so dst may alias src plane-wise.
+
+// dft4SoA computes the forward 4-point DFT on planes.
+func dft4SoA(dre, dim, sre, sim []float64) {
+	u0r, u0i := sre[0], sim[0]
+	u1r, u1i := sre[1], sim[1]
+	u2r, u2i := sre[2], sim[2]
+	u3r, u3i := sre[3], sim[3]
+	ar, ai := u0r+u2r, u0i+u2i
+	cr, ci := u0r-u2r, u0i-u2i
+	br, bi := u1r+u3r, u1i+u3i
+	dr, di := u1r-u3r, u1i-u3i
+	// id = i*d = (-di, dr)
+	dre[0], dim[0] = ar+br, ai+bi
+	dre[1], dim[1] = cr+di, ci-dr
+	dre[2], dim[2] = ar-br, ai-bi
+	dre[3], dim[3] = cr-di, ci+dr
+}
+
+// dft8SoA computes the forward 8-point DFT on planes (radix-2 split into
+// two 4-point DFTs, as in dft8).
+func dft8SoA(dre, dim, sre, sim []float64) {
+	u0r, u0i := sre[0], sim[0]
+	u1r, u1i := sre[1], sim[1]
+	u2r, u2i := sre[2], sim[2]
+	u3r, u3i := sre[3], sim[3]
+	u4r, u4i := sre[4], sim[4]
+	u5r, u5i := sre[5], sim[5]
+	u6r, u6i := sre[6], sim[6]
+	u7r, u7i := sre[7], sim[7]
+
+	a0r, a0i := u0r+u4r, u0i+u4i
+	a1r, a1i := u1r+u5r, u1i+u5i
+	a2r, a2i := u2r+u6r, u2i+u6i
+	a3r, a3i := u3r+u7r, u3i+u7i
+	b0r, b0i := u0r-u4r, u0i-u4i
+	b1r, b1i := u1r-u5r, u1i-u5i
+	b2r, b2i := u2r-u6r, u2i-u6i
+	b3r, b3i := u3r-u7r, u3i-u7i
+	c := invSqrt2
+	b1r, b1i = c*(b1r+b1i), c*(b1i-b1r)
+	b2r, b2i = b2i, -b2r
+	b3r, b3i = c*(b3i-b3r), -c*(b3r+b3i)
+
+	{
+		ar, ai := a0r+a2r, a0i+a2i
+		cr, ci := a0r-a2r, a0i-a2i
+		br, bi := a1r+a3r, a1i+a3i
+		dr, di := a1r-a3r, a1i-a3i
+		dre[0], dim[0] = ar+br, ai+bi
+		dre[2], dim[2] = cr+di, ci-dr
+		dre[4], dim[4] = ar-br, ai-bi
+		dre[6], dim[6] = cr-di, ci+dr
+	}
+	{
+		ar, ai := b0r+b2r, b0i+b2i
+		cr, ci := b0r-b2r, b0i-b2i
+		br, bi := b1r+b3r, b1i+b3i
+		dr, di := b1r-b3r, b1i-b3i
+		dre[1], dim[1] = ar+br, ai+bi
+		dre[3], dim[3] = cr+di, ci-dr
+		dre[5], dim[5] = ar-br, ai-bi
+		dre[7], dim[7] = cr-di, ci+dr
+	}
+}
+
+// w16SoA holds w16 split into planes, index-compatible with w16.
+var w16SoA = func() (t struct{ re, im [4]float64 }) {
+	for k, w := range w16 {
+		t.re[k], t.im[k] = real(w), imag(w)
+	}
+	return
+}()
+
+// dft16SoA computes the forward 16-point DFT on planes (radix-2 split into
+// two 8-point DFTs, as in dft16).
+func dft16SoA(dre, dim, sre, sim []float64) {
+	var ar, ai, br, bi [8]float64
+	for k := 0; k < 8; k++ {
+		ur, ui := sre[k], sim[k]
+		vr, vi := sre[k+8], sim[k+8]
+		ar[k], ai[k] = ur+vr, ui+vi
+		dr, di := ur-vr, ui-vi
+		if k < 4 {
+			wr, wi := w16SoA.re[k], w16SoA.im[k]
+			br[k] = dr*wr - di*wi
+			bi[k] = dr*wi + di*wr
+		} else {
+			// W16^{k} = -i * W16^{k-4}: multiply then rotate by -i.
+			wr, wi := w16SoA.re[k-4], w16SoA.im[k-4]
+			tr := dr*wr - di*wi
+			ti := dr*wi + di*wr
+			br[k], bi[k] = ti, -tr
+		}
+	}
+	var ear, eai, ebr, ebi [8]float64
+	dft8SoA(ear[:], eai[:], ar[:], ai[:])
+	dft8SoA(ebr[:], ebi[:], br[:], bi[:])
+	for k := 0; k < 8; k++ {
+		dre[2*k], dim[2*k] = ear[k], eai[k]
+		dre[2*k+1], dim[2*k+1] = ebr[k], ebi[k]
+	}
+}
+
+// codeletForwardSoA dispatches to an unrolled SoA transform when one exists.
+func codeletForwardSoA(dre, dim, sre, sim []float64, n int) bool {
+	switch n {
+	case 4:
+		dft4SoA(dre, dim, sre, sim)
+	case 8:
+		dft8SoA(dre, dim, sre, sim)
+	case 16:
+		dft16SoA(dre, dim, sre, sim)
+	default:
+		return false
+	}
+	return true
+}
+
+// guard against drift between the two constant tables.
+var _ = func() bool {
+	for k := range w16 {
+		if math.Float64bits(real(w16[k])) != math.Float64bits(w16SoA.re[k]) {
+			panic("fft: w16SoA out of sync with w16")
+		}
+	}
+	return true
+}()

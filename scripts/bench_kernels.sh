@@ -1,0 +1,66 @@
+#!/bin/sh
+# Kernel-backend benchmark: AoS (interleaved complex128) against SoA
+# (split Re/Im planes) on the same plans and the same AoS-facing API, at
+# the Fig-11 geometry sizes. Three engines per size — the 6-step opt
+# transform with a forced backend, the plain Stockham plan, and the
+# lane-interleaved batch — each as a before/after GFLOPS pair, assembled
+# into BENCH_kernels.json with host metadata and the SoA/AoS headline
+# ratios.
+#
+#   ./scripts/bench_kernels.sh             # ~1 min with the defaults
+#   DURATION=5s ./scripts/bench_kernels.sh
+#   SMOKE=1 ./scripts/bench_kernels.sh     # check.sh gate: tiny budget, no
+#                                          # BENCH_kernels.json rewrite
+cd "$(dirname "$0")/.." || exit 2
+
+SIZES="${SIZES:-28672,458752}"      # Fig-11 geometry: S^2*7*64, S=8,32
+DURATION="${DURATION:-2s}"
+WORKERS="${WORKERS:-0}"
+LANES="${LANES:-8}"
+ROUNDS="${ROUNDS:-3}"               # interleaved AoS/SoA rounds, best-of
+OUT="${OUT:-BENCH_kernels.json}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+echo "== building kernelbench"
+go build -o "$tmp/kernelbench" ./cmd/kernelbench || exit 1
+
+if [ -n "$SMOKE" ]; then
+    # Smoke mode proves the harness end to end — both backends build, run,
+    # and cross-check on a small size — without touching the pinned
+    # benchmark document.
+    "$tmp/kernelbench" -sizes 28672 -duration 50ms -lanes "$LANES" \
+        >"$tmp/kernels.json" || exit 1
+    jq -e '.cells | length >= 6' "$tmp/kernels.json" >/dev/null || {
+        echo "bench_kernels.sh: smoke run produced too few cells"
+        exit 1
+    }
+    # A benchmark of a broken kernel is worse than no benchmark: every SoA
+    # cell must still agree with its AoS twin.
+    jq -e '[.cells[] | select(.backend == "soa") | .rel_err_vs_aos]
+           | all(. < 1e-9)' "$tmp/kernels.json" >/dev/null || {
+        echo "bench_kernels.sh: SoA cells disagree with AoS"
+        jq '.cells' "$tmp/kernels.json"
+        exit 1
+    }
+    echo "bench_kernels.sh: smoke ok"
+    exit 0
+fi
+
+echo "== kernelbench (sizes $SIZES, $DURATION per cell, best of $ROUNDS rounds)"
+"$tmp/kernelbench" -sizes "$SIZES" -duration "$DURATION" \
+    -workers "$WORKERS" -lanes "$LANES" -rounds "$ROUNDS" >"$tmp/kernels.json" || exit 1
+
+jq -n \
+    --slurpfile kb "$tmp/kernels.json" \
+    --arg date "$(date -u +%Y-%m-%dT%H:%M:%SZ)" \
+    --arg goos "$(go env GOOS)" --arg goarch "$(go env GOARCH)" \
+    --arg nproc "$(nproc)" \
+    '$kb[0] + {
+        date: $date,
+        host: {goos: $goos, goarch: $goarch, cpus: ($nproc | tonumber)}
+    }' >"$OUT" || exit 1
+
+echo "== wrote $OUT"
+jq '.headline' "$OUT"

@@ -61,6 +61,12 @@ done
 for target in FuzzCodecRoundTrip FuzzCodecDecode; do
     run_gate "fuzz smoke $target" go test ./internal/codec -run '^$' -fuzz "^${target}\$" -fuzztime 5s
 done
+run_gate "fuzz smoke FuzzSoARoundTrip" go test ./internal/cvec -run '^$' -fuzz '^FuzzSoARoundTrip$' -fuzztime 5s
+
+# Kernel-backend smoke: both FFT kernel layouts build, run, and agree on a
+# Fig-11 size (the full benchmark writes BENCH_kernels.json; the gate only
+# proves the harness and the AoS/SoA cross-check).
+run_gate "bench_kernels smoke (AoS/SoA cross-check)" env SMOKE=1 ./scripts/bench_kernels.sh
 
 if [ -n "$failures" ]; then
     echo "check.sh: FAILED gates:$failures"
